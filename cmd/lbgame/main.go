@@ -1,0 +1,81 @@
+// Command lbgame explores the strategic landscape of the mechanisms:
+// it sweeps one agent's bid and execution deviations, prints the
+// utility surface, and reports whether any deviation beats truth.
+//
+// Usage:
+//
+//	lbgame -mech verification        # the paper's mechanism (truthful)
+//	lbgame -mech noverification      # bids-only payments (manipulable)
+//	lbgame -mech classical -agent 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/game"
+	"repro/internal/mech"
+	"repro/internal/report"
+)
+
+func main() {
+	mechName := flag.String("mech", "verification",
+		"mechanism: verification, noverification, vcg, archertardos, classical")
+	agent := flag.Int("agent", 0, "index of the probed agent (0-based)")
+	flag.Parse()
+
+	m, err := mech.ByName(*mechName, nil)
+	if err != nil {
+		fatal(err)
+	}
+	agents := mech.Truthful(experiments.PaperTrueValues())
+	grid := game.DefaultGrid()
+	rep, err := game.VerifyTruthfulness(m, agents, experiments.PaperRate, *agent, grid, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("mechanism: %s, probing agent C%d (t=%g)\n\n",
+		m.Name(), *agent+1, agents[*agent].True)
+
+	// Utility surface at full-capacity execution.
+	tab := report.NewTable("Utility of deviating bids (execution at capacity).",
+		"Bid factor", "Utility", "vs truth")
+	pop := append([]mech.Agent(nil), agents...)
+	for _, bf := range grid.BidFactors {
+		pop[*agent].Bid = bf * pop[*agent].True
+		pop[*agent].Exec = pop[*agent].True
+		o, err := m.Run(pop, experiments.PaperRate)
+		if err != nil {
+			continue
+		}
+		diff := o.Utility[*agent] - rep.TruthUtility
+		mark := ""
+		if bf == 1 {
+			mark = "<- truth"
+		} else if diff > 1e-9 {
+			mark = "PROFITABLE"
+		}
+		tab.AddRow(report.FormatFloat(bf), report.FormatFloat(o.Utility[*agent]), mark)
+	}
+	tab.Render(os.Stdout)
+
+	fmt.Printf("\ntruthful utility: %s\n", report.FormatFloat(rep.TruthUtility))
+	fmt.Printf("best deviation:   bid %s*t, exec %s*t -> utility %s (epsilon %s)\n",
+		report.FormatFloat(rep.Best.BidFactor),
+		report.FormatFloat(rep.Best.ExecFactor),
+		report.FormatFloat(rep.Best.Utility),
+		report.FormatFloat(rep.Epsilon))
+	if rep.Truthful() {
+		fmt.Println("verdict: TRUTHFUL on the probed grid — no profitable deviation")
+	} else {
+		fmt.Printf("verdict: MANIPULABLE — %d profitable deviations found\n", len(rep.Profitable))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbgame:", err)
+	os.Exit(1)
+}

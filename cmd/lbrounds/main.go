@@ -1,0 +1,80 @@
+// Command lbrounds runs the mechanism as a long-lived multi-round
+// system on the paper's 16-computer population, with one persistent
+// deviator and a reputation policy that suspends computers repeatedly
+// caught executing slower than they bid.
+//
+// Usage:
+//
+//	lbrounds -rounds 20 -exec-factor 2 -strikes 2 -ban 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/rounds"
+)
+
+func main() {
+	nRounds := flag.Int("rounds", 20, "number of rounds")
+	execFactor := flag.Float64("exec-factor", 2, "C1's execution slowdown factor")
+	bidFactor := flag.Float64("bid-factor", 1, "C1's bid factor")
+	strikes := flag.Int("strikes", 2, "flags before suspension")
+	ban := flag.Int("ban", 3, "suspension length in rounds")
+	jobs := flag.Int("jobs", 20000, "simulated jobs per round")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	pop := make([]rounds.ComputerSpec, 16)
+	for i, tv := range experiments.PaperTrueValues() {
+		pop[i] = rounds.ComputerSpec{True: tv}
+	}
+	pop[0].Strategy = protocol.FactorStrategy{BidFactor: *bidFactor, ExecFactor: *execFactor}
+
+	res, err := rounds.Run(rounds.Config{
+		Computers:    pop,
+		Rate:         experiments.PaperRate,
+		Rounds:       *nRounds,
+		JobsPerRound: *jobs,
+		Seed:         *seed,
+		Policy:       rounds.Policy{Strikes: *strikes, BanRounds: *ban, ForgiveAfter: 10},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbrounds:", err)
+		os.Exit(1)
+	}
+
+	tab := report.NewTable(
+		fmt.Sprintf("Multi-round system: C1 bids %.3g*t, executes %.3g*t; %d strikes -> %d-round ban.",
+			*bidFactor, *execFactor, *strikes, *ban),
+		"Round", "Active", "Latency", "Optimum (active)", "Flagged", "Suspended")
+	for _, rec := range res.Records {
+		tab.AddRow(
+			fmt.Sprintf("%d", rec.Round),
+			fmt.Sprintf("%d", len(rec.Active)),
+			report.FormatFloat(rec.Latency),
+			report.FormatFloat(rec.OptLatency),
+			joinInts(rec.Flagged),
+			joinInts(rec.Suspended),
+		)
+	}
+	tab.Render(os.Stdout)
+	fmt.Printf("\nsuspensions per computer: %v\n", res.Suspensions)
+	fmt.Println("note: while C1 is suspended the system runs at the optimum of the honest computers.")
+}
+
+func joinInts(xs []int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(xs))
+	for i, v := range xs {
+		parts[i] = fmt.Sprintf("C%d", v+1)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,125 @@
+// Command lbsim runs the full message-level mechanism protocol on a
+// discrete-event simulation: bid collection, allocation, simulated
+// execution, execution-value estimation (verification) and payment
+// delivery.
+//
+// Usage:
+//
+//	lbsim -experiment Low2 -jobs 100000 -seed 7   # a paper Table 2 scenario
+//	lbsim -scenario system.json                   # a custom JSON scenario
+//
+// A scenario file looks like:
+//
+//	{
+//	  "name": "two-tier", "model": "linear", "rate": 6, "jobs": 50000,
+//	  "computers": [
+//	    {"true": 1},
+//	    {"true": 2, "bid_factor": 0.5, "exec_factor": 2}
+//	  ]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func main() {
+	expName := flag.String("experiment", "True1", "Table 2 experiment name (True1..Low2)")
+	scenarioPath := flag.String("scenario", "", "path to a JSON scenario file (overrides -experiment)")
+	jobs := flag.Int("jobs", 100000, "number of jobs to simulate")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var res *protocol.Result
+	var header string
+	if *scenarioPath != "" {
+		f, err := os.Open(*scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := scenario.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res, err = s.Run()
+		if err != nil {
+			fatal(err)
+		}
+		header = fmt.Sprintf("scenario %s (%s model, R=%g)", s.Name, s.Model, s.Rate)
+	} else {
+		exp, err := experiments.ExperimentByName(*expName)
+		if err != nil {
+			fatal(err)
+		}
+		strategies := make([]protocol.Strategy, 16)
+		strategies[0] = protocol.FactorStrategy{BidFactor: exp.BidFactor, ExecFactor: exp.ExecFactor}
+		res, err = protocol.Run(protocol.Config{
+			Trues:      experiments.PaperTrueValues(),
+			Strategies: strategies,
+			Rate:       experiments.PaperRate,
+			Jobs:       *jobs,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		header = fmt.Sprintf("experiment %s: C1 bids %.3g*t1, executes at %.3g*t1",
+			exp.Name, exp.BidFactor, exp.ExecFactor)
+	}
+	printResult(header, res)
+}
+
+func printResult(header string, res *protocol.Result) {
+	fmt.Println(header)
+	fmt.Printf("protocol messages: %d\n", res.Messages)
+	fmt.Printf("simulated %d jobs over %.1f s of virtual time\n\n",
+		totalJobs(res), res.Sim.Duration)
+
+	tab := report.NewTable("Per-computer results (payments from estimated execution values).",
+		"Computer", "Assigned rate", "Estimated t~", "95% CI", "Flagged",
+		"Payment", "Oracle payment", "Utility")
+	for i := range res.Estimates {
+		est := res.Estimates[i]
+		flagged := ""
+		if res.Verdicts[i].Deviating {
+			flagged = "DEVIATING"
+		}
+		tab.AddRow(
+			fmt.Sprintf("C%d", res.Active[i]+1),
+			report.FormatFloat(res.Outcome.Alloc[i]),
+			report.FormatFloat(est.Value),
+			fmt.Sprintf("[%s, %s]", report.FormatFloat(est.Lo), report.FormatFloat(est.Hi)),
+			flagged,
+			report.FormatFloat(res.Outcome.Payment[i]),
+			report.FormatFloat(res.Oracle.Payment[i]),
+			report.FormatFloat(res.Outcome.Utility[i]),
+		)
+	}
+	tab.Render(os.Stdout)
+
+	fmt.Printf("\nrealized total latency (analytic): %s\n",
+		report.FormatFloat(res.Oracle.RealLatency))
+	fmt.Printf("realized total latency (simulated): %s\n",
+		report.FormatFloat(res.Sim.TotalLatencyRate))
+}
+
+func totalJobs(res *protocol.Result) int {
+	n := 0
+	for _, s := range res.Sim.PerNode {
+		n += s.Jobs
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package lbmech_test
+
+import (
+	"fmt"
+
+	lbmech "repro"
+)
+
+// Example runs the mechanism on a small truthful cluster: the PR
+// algorithm allocates in proportion to processing rates and every
+// truthful computer ends with nonnegative utility.
+func Example() {
+	sys, err := lbmech.NewSystem([]float64{1, 3}, 8)
+	if err != nil {
+		panic(err)
+	}
+	out, err := sys.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("allocation: %.0f and %.0f jobs/s\n", out.Alloc[0], out.Alloc[1])
+	fmt.Printf("total latency: %.0f\n", out.RealLatency)
+	// Output:
+	// allocation: 6 and 2 jobs/s
+	// total latency: 48
+}
+
+// ExampleSystem_SetBid shows that lying hurts under the verification
+// mechanism: a computer that halves its bid (to grab more work) loses
+// utility relative to truth.
+func ExampleSystem_SetBid() {
+	sys, _ := lbmech.NewSystem([]float64{1, 2, 5, 10}, 8)
+	truth, _ := sys.Run()
+
+	sys.SetBid(0, 0.5) // computer 1 underbids
+	lie, _ := sys.Run()
+
+	fmt.Printf("truthful utility: %.4f\n", truth.Utility[0])
+	fmt.Printf("underbid utility: %.4f\n", lie.Utility[0]) // 40.8163 < 44.4444
+	fmt.Println("lying profitable:", lie.Utility[0] > truth.Utility[0])
+	// Output:
+	// truthful utility: 44.4444
+	// underbid utility: 40.8163
+	// lying profitable: false
+}
+
+// ExampleSystem_VerifyTruthfulness certifies on a deviation grid that
+// no bid/execution manipulation beats truth-telling (Theorem 3.1,
+// numerically).
+func ExampleSystem_VerifyTruthfulness() {
+	sys, _ := lbmech.NewSystem([]float64{1, 2, 5}, 6)
+	rep, _ := sys.VerifyTruthfulness(0)
+	fmt.Println("truthful on grid:", rep.Truthful())
+	fmt.Printf("best deviation factors: bid %.0fx, exec %.0fx\n",
+		rep.Best.BidFactor, rep.Best.ExecFactor)
+	// Output:
+	// truthful on grid: true
+	// best deviation factors: bid 1x, exec 1x
+}
+
+// ExampleRunDistributed runs the fully distributed mechanism over a
+// star topology: O(n) messages, payments identical to the centralized
+// mechanism.
+func ExampleRunDistributed() {
+	agents := lbmech.Truthful([]float64{1, 2, 4, 8})
+	res, err := lbmech.RunDistributed(lbmech.StarTree(4), agents, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("messages:", res.Messages)
+	fmt.Printf("aggregate S: %.3f\n", res.S)
+	// Output:
+	// messages: 12
+	// aggregate S: 1.875
+}
+
+// ExamplePaperSystem reproduces the paper's headline number: the
+// 16-computer system at R=20 has minimum total latency 78.43.
+func ExamplePaperSystem() {
+	sys, _ := lbmech.PaperSystem()
+	out, _ := sys.Run()
+	fmt.Printf("L = %.2f\n", out.RealLatency)
+	// Output:
+	// L = 78.43
+}

@@ -1,0 +1,137 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/latency"
+	"repro/internal/numeric"
+)
+
+// OptimalCapped computes the total-latency-minimizing allocation
+// subject to per-computer rate caps 0 <= x_i <= caps[i] in addition to
+// conservation. The KKT conditions gain a clip: a computer pinned at
+// its cap may have marginal total latency below the shared multiplier
+// alpha. The assigned-flow function remains nondecreasing in alpha, so
+// the same outer bisection applies with per-computer inversion clipped
+// into [0, cap_i].
+//
+// A cap of +Inf (or any value at or above the model's MaxRate) means
+// "no administrative cap"; the model's own capacity still applies.
+// Returns ErrInfeasible when rate exceeds the sum of effective caps.
+func OptimalCapped(fns []latency.Function, rate float64, caps []float64) ([]float64, error) {
+	n := len(fns)
+	if n == 0 {
+		return nil, errors.New("alloc: no computers")
+	}
+	if len(caps) != n {
+		return nil, fmt.Errorf("alloc: %d caps for %d computers", len(caps), n)
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("alloc: negative arrival rate %g", rate)
+	}
+	eff := make([]float64, n)
+	capTotal := 0.0
+	for i, c := range caps {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("alloc: invalid cap caps[%d] = %g", i, c)
+		}
+		eff[i] = math.Min(c, fns[i].MaxRate())
+		capTotal += eff[i]
+	}
+	x := make([]float64, n)
+	if rate == 0 {
+		return x, nil
+	}
+	// For finite-capacity latency models the supremum itself is
+	// unattainable, so require strict slack there; a finite
+	// administrative cap below MaxRate is attainable. The tolerance
+	// absorbs the ulp-level drift of summing n caps.
+	feasTol := 1e-9 * (1 + rate)
+	if rate > capTotal+feasTol ||
+		(rate >= capTotal-feasTol && anyModelLimited(fns, eff)) {
+		return nil, ErrInfeasible
+	}
+
+	assigned := func(alpha float64, out []float64) float64 {
+		var sum numeric.KahanSum
+		for i, f := range fns {
+			v := invertMarginal(f, alpha)
+			if v > eff[i] {
+				v = eff[i]
+			}
+			out[i] = v
+			sum.Add(v)
+		}
+		return sum.Value()
+	}
+
+	lo := math.Inf(1)
+	for _, f := range fns {
+		if m := f.MarginalTotal(0); m < lo {
+			lo = m
+		}
+	}
+	if math.IsInf(lo, 0) || math.IsNaN(lo) {
+		return nil, errors.New("alloc: invalid marginal at zero")
+	}
+	hi := lo + 1
+	tmp := make([]float64, n)
+	sHi := assigned(hi, tmp)
+	for iter := 0; sHi < rate && iter <= 200; iter++ {
+		hi = lo + (hi-lo)*4
+		sHi = assigned(hi, tmp)
+	}
+	var alpha float64
+	if sHi < rate {
+		// The clipped supply saturates just below rate (all caps
+		// binding up to rounding): take the saturating multiplier and
+		// let the conservation repair below absorb the ulp gap.
+		if sHi < rate-feasTol {
+			return nil, numeric.ErrNoConverge
+		}
+		alpha = hi
+	} else {
+		var err error
+		alpha, err = numeric.Bisect(func(a float64) float64 {
+			return assigned(a, tmp) - rate
+		}, lo, hi, 1e-13*(1+math.Abs(hi)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	assigned(alpha, x)
+	// Rescale the unpinned mass so conservation holds exactly. Pinned
+	// entries stay at their caps.
+	var pinned, free numeric.KahanSum
+	for i := range x {
+		if x[i] >= eff[i]-1e-12 {
+			pinned.Add(x[i])
+		} else {
+			free.Add(x[i])
+		}
+	}
+	want := rate - pinned.Value()
+	if f := free.Value(); f > 0 && want > 0 {
+		scale := want / f
+		for i := range x {
+			if x[i] < eff[i]-1e-12 {
+				x[i] *= scale
+			}
+		}
+	}
+	return x, nil
+}
+
+// anyModelLimited reports whether any effective cap comes from the
+// latency model's own capacity (where the latency diverges) rather
+// than an administrative cap.
+func anyModelLimited(fns []latency.Function, eff []float64) bool {
+	for i, f := range fns {
+		if eff[i] == f.MaxRate() {
+			return true
+		}
+	}
+	return false
+}

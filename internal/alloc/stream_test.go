@@ -1,0 +1,217 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestStreamMatchesBatchAllocator(t *testing.T) {
+	st, err := NewStream(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10}
+	ids := make([]int, len(ts))
+	for i, v := range ts {
+		id, err := st.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	want, err := Proportional(ts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got, err := st.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(got, want[i], 1e-12, 1e-15) {
+			t.Errorf("load[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+	if got := st.OptimalLatency(); !numeric.AlmostEqual(got, 400.0/5.1, 1e-12, 0) {
+		t.Errorf("optimal latency = %v", got)
+	}
+	// Exclusion optimum matches the closed form.
+	lExcl, err := st.ExclusionLatency(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(lExcl, 400.0/4.1, 1e-12, 0) {
+		t.Errorf("exclusion latency = %v, want %v", lExcl, 400.0/4.1)
+	}
+}
+
+func TestStreamChurnEquivalence(t *testing.T) {
+	// Random add/remove/update churn must leave the stream equivalent
+	// to a batch allocator over the surviving population.
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		st, err := NewStream(10)
+		if err != nil {
+			return false
+		}
+		var live []int
+		vals := map[int]float64{}
+		for op := 0; op < 300; op++ {
+			switch {
+			case len(live) == 0 || r.Float64() < 0.5:
+				v := 0.1 + 10*r.Float64()
+				id, err := st.Add(v)
+				if err != nil {
+					return false
+				}
+				live = append(live, id)
+				vals[id] = v
+			case r.Float64() < 0.5:
+				i := r.Intn(len(live))
+				if st.Remove(live[i]) != nil {
+					return false
+				}
+				delete(vals, live[i])
+				live = append(live[:i], live[i+1:]...)
+			default:
+				i := r.Intn(len(live))
+				v := 0.1 + 10*r.Float64()
+				if st.Update(live[i], v) != nil {
+					return false
+				}
+				vals[live[i]] = v
+			}
+		}
+		if st.N() != len(live) {
+			return false
+		}
+		if len(live) == 0 {
+			return true
+		}
+		ids, x := st.Snapshot()
+		ts := make([]float64, len(ids))
+		for i, id := range ids {
+			ts[i] = vals[id]
+		}
+		want, err := Proportional(ts, 10)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !numeric.AlmostEqual(x[i], want[i], 1e-9, 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamDriftBoundedByRebuild(t *testing.T) {
+	st, err := NewStream(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor, err := st.Add(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the running sum with 100k adds/removes of awkward values.
+	r := numeric.NewRand(3)
+	for i := 0; i < 100000; i++ {
+		id, err := st.Add(0.1 + 10*r.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the anchor remains; S must be exactly 1/2 up to the rebuild
+	// tolerance.
+	if math.Abs(st.Sum()-0.5) > 1e-9 {
+		t.Errorf("S drifted to %v, want 0.5", st.Sum())
+	}
+	x, err := st.Load(anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-5) > 1e-8 {
+		t.Errorf("anchor load = %v, want 5", x)
+	}
+}
+
+func TestStreamEdgeCases(t *testing.T) {
+	if _, err := NewStream(-1); err == nil {
+		t.Error("expected error for negative rate")
+	}
+	st, err := NewStream(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Add(0); err == nil {
+		t.Error("expected error for t=0")
+	}
+	if err := st.Remove(99); err == nil {
+		t.Error("expected error for unknown id")
+	}
+	if err := st.Update(99, 1); err == nil {
+		t.Error("expected error for unknown id")
+	}
+	if _, err := st.Load(99); err == nil {
+		t.Error("expected error for unknown id")
+	}
+	if _, err := st.ExclusionLatency(99); err == nil {
+		t.Error("expected error for unknown id")
+	}
+	// Empty system.
+	if !math.IsInf(st.OptimalLatency(), 1) {
+		t.Error("empty system optimum should be +Inf at positive rate")
+	}
+	if err := st.SetRate(0); err != nil {
+		t.Fatal(err)
+	}
+	if st.OptimalLatency() != 0 {
+		t.Error("zero-rate empty optimum should be 0")
+	}
+	// Single computer: exclusion is an empty system.
+	if err := st.SetRate(3); err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.Add(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lExcl, err := st.ExclusionLatency(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(lExcl, 1) {
+		t.Errorf("single-computer exclusion = %v, want +Inf", lExcl)
+	}
+	if err := st.Update(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	x, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3) > 1e-12 {
+		t.Errorf("sole computer load = %v, want the full rate 3", x)
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	xs := []int{5, 2, 9, 1, 5, 0}
+	sortInts(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}

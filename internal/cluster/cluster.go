@@ -1,0 +1,295 @@
+// Package cluster simulates a heterogeneous distributed system on top
+// of the discrete-event engine: jobs arrive from a workload source,
+// a dispatcher routes them to computers according to an allocation,
+// and each computer serves them under a configurable service model.
+//
+// Two node models are provided, matching the two latency families of
+// the repository:
+//
+//   - QueueNode is a real FCFS single-server queue with exponential
+//     service — an M/M/1 system whose measured sojourn time converges
+//     to 1/(mu-x), validating the MM1 latency model against an actual
+//     queueing simulation.
+//   - FlowNode realizes the paper's linear flow model: each job's
+//     delay is drawn with mean t*x (t the computer's execution value,
+//     x its configured arrival rate), the light-load M/G/1 reading the
+//     paper gives for l(x) = t*x. It exercises the verification path:
+//     the mechanism can estimate t from observed delays.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Node is one simulated computer.
+type Node interface {
+	// Name labels the node in results.
+	Name() string
+	// Submit hands the node a job at the current simulation time; the
+	// node must invoke done(latency) when the job completes, where
+	// latency is the job's total time in the node.
+	Submit(eng *sim.Engine, job workload.Job, done func(latency float64))
+}
+
+// QueueNode is an FCFS single-server queue with service rate Mu: a
+// job of size s occupies the server for s/Mu seconds. The service-time
+// distribution is therefore inherited from the workload's size
+// distribution — ExpSize arrivals make this an M/M/1 queue, ConstSize
+// an M/D/1 queue.
+type QueueNode struct {
+	// ID labels the node.
+	ID string
+	// Mu is the service rate (jobs of size 1 per second).
+	Mu float64
+
+	availAt  float64 // time the server frees up
+	busyTime float64 // accumulated service time, for utilization
+}
+
+// Name implements Node.
+func (n *QueueNode) Name() string { return n.ID }
+
+// Submit implements Node.
+func (n *QueueNode) Submit(eng *sim.Engine, job workload.Job, done func(float64)) {
+	now := eng.Now()
+	start := now
+	if n.availAt > start {
+		start = n.availAt
+	}
+	svc := job.Size / n.Mu
+	n.availAt = start + svc
+	n.busyTime += svc
+	finish := n.availAt
+	eng.At(finish, func() { done(finish - job.Arrival) })
+}
+
+// BusyTime returns the total service time accumulated so far.
+func (n *QueueNode) BusyTime() float64 { return n.busyTime }
+
+// FlowNode realizes the linear flow model l(x) = T*x: every job
+// experiences an exponentially distributed delay with mean T*Rate,
+// independent of the others (infinite-server semantics).
+type FlowNode struct {
+	// ID labels the node.
+	ID string
+	// T is the node's execution value ť (inverse processing rate).
+	T float64
+	// Rate is the arrival rate x the node was allocated; with the
+	// paper's model the per-job latency at this operating point is
+	// T*Rate.
+	Rate float64
+	// RNG drives the delay draws.
+	RNG *numeric.Rand
+}
+
+// Name implements Node.
+func (n *FlowNode) Name() string { return n.ID }
+
+// Submit implements Node.
+func (n *FlowNode) Submit(eng *sim.Engine, job workload.Job, done func(float64)) {
+	mean := n.T * n.Rate
+	delay := job.Size * mean * n.RNG.ExpFloat64()
+	eng.Schedule(delay, func() { done(delay) })
+}
+
+// NodeStats aggregates per-node measurements from a run.
+type NodeStats struct {
+	// Name is the node label.
+	Name string
+	// Jobs is the number of jobs completed at this node.
+	Jobs int
+	// ArrivalRate is the observed arrival rate (jobs per second of
+	// simulated time).
+	ArrivalRate float64
+	// Latency summarizes observed per-job latencies.
+	Latency stats.Summary
+	// Latencies holds the raw observations (populated when
+	// Config.KeepSamples is true) for use by the estimator.
+	Latencies []float64
+	// Utilization is busy time over total time, filled for QueueNodes.
+	Utilization float64
+}
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	// Duration is the simulated time span (last completion).
+	Duration float64
+	// PerNode holds per-node statistics, in node order.
+	PerNode []NodeStats
+	// MeanResponse is the mean latency across all jobs.
+	MeanResponse float64
+	// TotalLatencyRate is the flow-model total latency
+	// sum_i x̂_i * mean latency_i, directly comparable to the paper's
+	// L(x) = sum_i x_i * l_i(x_i).
+	TotalLatencyRate float64
+}
+
+// Config drives a cluster run.
+type Config struct {
+	// Nodes are the computers.
+	Nodes []Node
+	// Probs are the routing probabilities (x_i / R); they must be
+	// nonnegative and sum to 1 within 1e-9.
+	Probs []float64
+	// Source generates the jobs.
+	Source workload.Source
+	// RNG drives routing decisions.
+	RNG *numeric.Rand
+	// KeepSamples retains raw per-node latency observations.
+	KeepSamples bool
+	// Warmup discards observations from jobs that complete before
+	// this simulated time, removing the initial transient from
+	// steady-state statistics. Arrivals still happen during warmup;
+	// only the measurement is suppressed.
+	Warmup float64
+}
+
+// Run simulates the full job stream through the cluster and returns
+// aggregate statistics.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if len(cfg.Probs) != len(cfg.Nodes) {
+		return nil, fmt.Errorf("cluster: %d probs for %d nodes", len(cfg.Probs), len(cfg.Nodes))
+	}
+	var sum float64
+	for i, p := range cfg.Probs {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("cluster: invalid probability probs[%d] = %v", i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("cluster: probabilities sum to %v, want 1", sum)
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("cluster: nil job source")
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = numeric.NewRand(1)
+	}
+
+	eng := sim.New()
+	res := &Result{PerNode: make([]NodeStats, len(cfg.Nodes))}
+	for i, n := range cfg.Nodes {
+		res.PerNode[i].Name = n.Name()
+	}
+	var all stats.Summary
+
+	// cumulative distribution for routing
+	cdf := make([]float64, len(cfg.Probs))
+	acc := 0.0
+	for i, p := range cfg.Probs {
+		acc += p
+		cdf[i] = acc
+	}
+	pick := func() int {
+		u := rng.Float64() * acc
+		for i, c := range cdf {
+			if u < c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+
+	// Schedule every arrival up front; the event queue interleaves
+	// them with completions.
+	for {
+		job, ok := cfg.Source.Next()
+		if !ok {
+			break
+		}
+		eng.At(job.Arrival, func() {
+			i := pick()
+			node := cfg.Nodes[i]
+			st := &res.PerNode[i]
+			node.Submit(eng, job, func(lat float64) {
+				if t := eng.Now(); t > res.Duration {
+					res.Duration = t
+				}
+				if eng.Now() < cfg.Warmup {
+					return
+				}
+				st.Jobs++
+				st.Latency.Add(lat)
+				if cfg.KeepSamples {
+					st.Latencies = append(st.Latencies, lat)
+				}
+				all.Add(lat)
+			})
+		})
+	}
+	eng.Run()
+
+	res.MeanResponse = all.Mean()
+	window := res.Duration - cfg.Warmup
+	if window > 0 {
+		var k numeric.KahanSum
+		for i := range res.PerNode {
+			st := &res.PerNode[i]
+			st.ArrivalRate = float64(st.Jobs) / window
+			k.Add(st.ArrivalRate * st.Latency.Mean())
+			if qn, ok := cfg.Nodes[i].(*QueueNode); ok && res.Duration > 0 {
+				st.Utilization = qn.BusyTime() / res.Duration
+			}
+		}
+		res.TotalLatencyRate = k.Value()
+	}
+	return res, nil
+}
+
+// FlowNodes constructs FlowNodes for execution values ts and
+// allocation x, with independent RNG streams split from rng.
+func FlowNodes(ts, x []float64, rng *numeric.Rand) ([]Node, error) {
+	if len(ts) != len(x) {
+		return nil, fmt.Errorf("cluster: %d execution values for %d allocations", len(ts), len(x))
+	}
+	nodes := make([]Node, len(ts))
+	for i := range ts {
+		nodes[i] = &FlowNode{
+			ID:   fmt.Sprintf("C%d", i+1),
+			T:    ts[i],
+			Rate: x[i],
+			RNG:  rng.Split(),
+		}
+	}
+	return nodes, nil
+}
+
+// QueueNodes constructs FCFS QueueNodes with service rates mus.
+func QueueNodes(mus []float64) []Node {
+	nodes := make([]Node, len(mus))
+	for i, mu := range mus {
+		nodes[i] = &QueueNode{
+			ID: fmt.Sprintf("C%d", i+1),
+			Mu: mu,
+		}
+	}
+	return nodes
+}
+
+// Probs converts an allocation x into routing probabilities x_i/R.
+// Zero-rate systems yield a uniform distribution.
+func Probs(x []float64, rate float64) []float64 {
+	p := make([]float64, len(x))
+	if rate <= 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(x))
+		}
+		return p
+	}
+	for i, v := range x {
+		p[i] = v / rate
+	}
+	return p
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/latency"
+	"repro/internal/numeric"
+	"repro/internal/workload"
+)
+
+func TestQueueNodeMatchesMM1Theory(t *testing.T) {
+	// M/M/1 with mu=2, lambda=1: mean sojourn = 1/(mu-lambda) = 1.
+	rng := numeric.NewRand(42)
+	nodes := QueueNodes([]float64{2})
+	res, err := Run(Config{
+		Nodes:  nodes,
+		Probs:  []float64{1},
+		Source: workload.NewPoisson(1, 200000, workload.ExpSize{}, rng.Split()),
+		RNG:    rng.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanResponse-1) > 0.05 {
+		t.Errorf("M/M/1 mean sojourn = %v, want ~1", res.MeanResponse)
+	}
+}
+
+func TestQueueNodeLowUtilizationApproachesServiceTime(t *testing.T) {
+	// Nearly idle server: sojourn ~ service time = 1/mu.
+	rng := numeric.NewRand(7)
+	nodes := QueueNodes([]float64{10})
+	res, err := Run(Config{
+		Nodes:  nodes,
+		Probs:  []float64{1},
+		Source: workload.NewPoisson(0.1, 50000, workload.ExpSize{}, rng.Split()),
+		RNG:    rng.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanResponse-0.1)/0.1 > 0.05 {
+		t.Errorf("idle sojourn = %v, want ~0.1", res.MeanResponse)
+	}
+}
+
+func TestTwoQueueNodesSplit(t *testing.T) {
+	// Two M/M/1 servers (mu=4 each) with even split of lambda=4:
+	// each sees lambda=2, sojourn 1/(4-2) = 0.5.
+	rng := numeric.NewRand(11)
+	nodes := QueueNodes([]float64{4, 4})
+	res, err := Run(Config{
+		Nodes:  nodes,
+		Probs:  []float64{0.5, 0.5},
+		Source: workload.NewPoisson(4, 200000, workload.ExpSize{}, rng.Split()),
+		RNG:    rng.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanResponse-0.5) > 0.03 {
+		t.Errorf("mean sojourn = %v, want ~0.5", res.MeanResponse)
+	}
+	// Roughly even job counts.
+	a, b := res.PerNode[0].Jobs, res.PerNode[1].Jobs
+	if math.Abs(float64(a-b))/float64(a+b) > 0.02 {
+		t.Errorf("uneven split: %d vs %d", a, b)
+	}
+}
+
+func TestFlowNodeMeanDelay(t *testing.T) {
+	// FlowNode with T=2, Rate=3: mean per-job delay 6.
+	rng := numeric.NewRand(13)
+	node := &FlowNode{ID: "C1", T: 2, Rate: 3, RNG: rng.Split()}
+	res, err := Run(Config{
+		Nodes:  []Node{node},
+		Probs:  []float64{1},
+		Source: workload.NewPoisson(3, 100000, nil, rng.Split()),
+		RNG:    rng.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanResponse-6)/6 > 0.02 {
+		t.Errorf("flow-node mean delay = %v, want ~6", res.MeanResponse)
+	}
+}
+
+func TestFlowClusterReproducesPaperLatency(t *testing.T) {
+	// The DES cross-check of the paper's headline number: 16 computers
+	// under the PR allocation at R=20 must measure a flow total
+	// latency near 78.43.
+	ts := []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10}
+	const rate = 20.0
+	x, err := alloc.Proportional(ts, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := numeric.NewRand(17)
+	nodes, err := FlowNodes(ts, x, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Nodes:  nodes,
+		Probs:  Probs(x, rate),
+		Source: workload.NewPoisson(rate, 400000, nil, rng.Split()),
+		RNG:    rng.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 78.431372549
+	if math.Abs(res.TotalLatencyRate-want)/want > 0.03 {
+		t.Errorf("simulated total latency = %v, want ~%v", res.TotalLatencyRate, want)
+	}
+}
+
+func TestQueueNodePollaczekKhinchine(t *testing.T) {
+	// The FCFS queue must reproduce the M/G/1 Pollaczek-Khinchine
+	// sojourn time for non-exponential service too. Service time =
+	// size/mu, so the size distribution's squared coefficient of
+	// variation carries over directly.
+	cases := []struct {
+		name string
+		dist workload.SizeDist
+		cs2  float64
+	}{
+		{"M/D/1", workload.ConstSize{}, 0},
+		{"M/M/1", workload.ExpSize{}, 1},
+		{"M/G/1-lognormal", workload.LognormalSize{Sigma: 0.8}, math.Exp(0.8*0.8) - 1},
+	}
+	const mu, lambda = 4.0, 2.0
+	for _, c := range cases {
+		rng := numeric.NewRand(29)
+		res, err := Run(Config{
+			Nodes:  QueueNodes([]float64{mu}),
+			Probs:  []float64{1},
+			Source: workload.NewPoisson(lambda, 400000, c.dist, rng.Split()),
+			RNG:    rng.Split(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := latency.MG1{Mu: mu, CS2: c.cs2}.Latency(lambda)
+		if math.Abs(res.MeanResponse-want)/want > 0.05 {
+			t.Errorf("%s: simulated sojourn %v, PK predicts %v", c.name, res.MeanResponse, want)
+		}
+	}
+}
+
+func TestKeepSamples(t *testing.T) {
+	rng := numeric.NewRand(19)
+	nodes := QueueNodes([]float64{5})
+	res, err := Run(Config{
+		Nodes:       nodes,
+		Probs:       []float64{1},
+		Source:      workload.NewPoisson(1, 500, workload.ExpSize{}, rng.Split()),
+		RNG:         rng.Split(),
+		KeepSamples: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerNode[0].Latencies) != 500 {
+		t.Errorf("kept %d samples, want 500", len(res.PerNode[0].Latencies))
+	}
+	if res.PerNode[0].Jobs != 500 {
+		t.Errorf("jobs = %d", res.PerNode[0].Jobs)
+	}
+}
+
+func TestWarmupTrimsTransient(t *testing.T) {
+	// A queue that starts empty under-measures the steady-state
+	// sojourn; discarding the warmup window moves the estimate toward
+	// (or past) the no-warmup one and reduces transient bias at high
+	// utilization (rho = 0.9, slow convergence).
+	const mu, lambda = 1.0, 0.9
+	run := func(warmup float64) *Result {
+		rng := numeric.NewRand(31)
+		res, err := Run(Config{
+			Nodes:  QueueNodes([]float64{mu}),
+			Probs:  []float64{1},
+			Source: workload.NewPoisson(lambda, 150000, workload.ExpSize{}, rng.Split()),
+			RNG:    rng.Split(),
+			Warmup: warmup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run(0)
+	warm := run(5000)
+	want := 1 / (mu - lambda) // 10
+	if math.Abs(warm.MeanResponse-want)/want > 0.25 {
+		t.Errorf("warm estimate %v far from theory %v", warm.MeanResponse, want)
+	}
+	// Warmup actually discards the early completions (~lambda*5000 of
+	// them) without touching the rest of the run.
+	trimmed := cold.PerNode[0].Jobs - warm.PerNode[0].Jobs
+	if trimmed < 3000 || trimmed > 6000 {
+		t.Errorf("warmup trimmed %d jobs, expected ~4500", trimmed)
+	}
+	if warm.Duration != cold.Duration {
+		t.Errorf("warmup changed the run duration: %v vs %v", warm.Duration, cold.Duration)
+	}
+}
+
+func TestUtilizationReported(t *testing.T) {
+	rng := numeric.NewRand(37)
+	res, err := Run(Config{
+		Nodes:  QueueNodes([]float64{4}),
+		Probs:  []float64{1},
+		Source: workload.NewPoisson(2, 100000, workload.ExpSize{}, rng.Split()),
+		RNG:    rng.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rho = lambda/mu = 0.5.
+	if math.Abs(res.PerNode[0].Utilization-0.5) > 0.03 {
+		t.Errorf("utilization = %v, want ~0.5", res.PerNode[0].Utilization)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	nodes := QueueNodes([]float64{1})
+	src := workload.NewDeterministic(1, 1)
+	cases := []Config{
+		{Nodes: nil, Probs: nil, Source: src},
+		{Nodes: nodes, Probs: []float64{0.5, 0.5}, Source: src},
+		{Nodes: nodes, Probs: []float64{0.9}, Source: src},
+		{Nodes: nodes, Probs: []float64{-1}, Source: src},
+		{Nodes: nodes, Probs: []float64{1}, Source: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestProbs(t *testing.T) {
+	p := Probs([]float64{1, 3}, 4)
+	if p[0] != 0.25 || p[1] != 0.75 {
+		t.Errorf("Probs = %v", p)
+	}
+	u := Probs([]float64{1, 1}, 0)
+	if u[0] != 0.5 || u[1] != 0.5 {
+		t.Errorf("zero-rate Probs = %v", u)
+	}
+}
+
+func TestFlowNodesMismatch(t *testing.T) {
+	if _, err := FlowNodes([]float64{1}, []float64{1, 2}, numeric.NewRand(1)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestDeterministicReplayability(t *testing.T) {
+	run := func() float64 {
+		rng := numeric.NewRand(23)
+		nodes := QueueNodes([]float64{3, 2})
+		res, err := Run(Config{
+			Nodes:  nodes,
+			Probs:  []float64{0.6, 0.4},
+			Source: workload.NewPoisson(2, 5000, workload.ExpSize{}, rng.Split()),
+			RNG:    rng.Split(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanResponse
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic runs: %v vs %v", a, b)
+	}
+}

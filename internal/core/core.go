@@ -1,0 +1,199 @@
+// Package core is the high-level entry point to the paper's primary
+// contribution: the load balancing mechanism with verification. It
+// wires the substrates together — latency models, the PR allocation,
+// the compensation-and-bonus payment rule, the simulated execution and
+// the execution-value estimation — behind one System type that
+// downstream users configure and run.
+//
+// Typical use:
+//
+//	sys, err := core.NewSystem([]float64{1, 2, 5, 10}, 8)
+//	sys.SetBid(0, 2)        // computer 1 lies
+//	out, err := sys.Run()   // allocation, payments, utilities
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/game"
+	"repro/internal/mech"
+	"repro/internal/protocol"
+)
+
+// System is a heterogeneous distributed system of self-interested
+// computers governed by a load balancing mechanism.
+type System struct {
+	agents    []mech.Agent
+	rate      float64
+	model     mech.Model
+	mechanism mech.Mechanism
+}
+
+// Option configures a System.
+type Option func(*System) error
+
+// WithModel selects the latency model (LinearModel by default).
+func WithModel(m mech.Model) Option {
+	return func(s *System) error {
+		if m == nil {
+			return errors.New("core: nil model")
+		}
+		s.model = m
+		s.mechanism = mech.CompensationBonus{Model: m}
+		return nil
+	}
+}
+
+// WithMechanism overrides the mechanism (the paper's verification
+// mechanism by default). The mechanism must be consistent with the
+// chosen model — prefer constructing it with the same Model value.
+func WithMechanism(m mech.Mechanism) Option {
+	return func(s *System) error {
+		if m == nil {
+			return errors.New("core: nil mechanism")
+		}
+		s.mechanism = m
+		return nil
+	}
+}
+
+// WithCaps applies public per-computer rate caps (linear model only):
+// computer i is assigned at most caps[i] jobs/s. Must be passed after
+// any WithModel option it is meant to cap.
+func WithCaps(caps []float64) Option {
+	return func(s *System) error {
+		if _, ok := s.model.(mech.LinearModel); !ok {
+			return errors.New("core: caps require the linear model")
+		}
+		if len(caps) != len(s.agents) {
+			return fmt.Errorf("core: %d caps for %d computers", len(caps), len(s.agents))
+		}
+		m := mech.CappedLinearModel{Caps: append([]float64(nil), caps...)}
+		s.model = m
+		s.mechanism = mech.CompensationBonus{Model: m}
+		return nil
+	}
+}
+
+// NewSystem creates a system of computers with the given true latency
+// parameters, all initially truthful, facing total job arrival rate.
+func NewSystem(trueValues []float64, rate float64, opts ...Option) (*System, error) {
+	if len(trueValues) < 2 {
+		return nil, mech.ErrNeedTwoAgents
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("core: negative rate %g", rate)
+	}
+	for i, t := range trueValues {
+		if t <= 0 {
+			return nil, fmt.Errorf("core: invalid true value trueValues[%d] = %g", i, t)
+		}
+	}
+	s := &System{
+		agents:    mech.Truthful(trueValues),
+		rate:      rate,
+		model:     mech.LinearModel{},
+		mechanism: mech.CompensationBonus{},
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of computers.
+func (s *System) N() int { return len(s.agents) }
+
+// Rate returns the total job arrival rate.
+func (s *System) Rate() float64 { return s.rate }
+
+// Agents returns a copy of the current agent population.
+func (s *System) Agents() []mech.Agent {
+	return append([]mech.Agent(nil), s.agents...)
+}
+
+// SetBid sets computer i's reported value.
+func (s *System) SetBid(i int, bid float64) error {
+	if i < 0 || i >= len(s.agents) {
+		return fmt.Errorf("core: computer index %d out of range", i)
+	}
+	if bid <= 0 {
+		return fmt.Errorf("core: invalid bid %g", bid)
+	}
+	s.agents[i].Bid = bid
+	return nil
+}
+
+// SetExec sets computer i's execution value. The paper's model allows
+// only ť >= t (a computer cannot run faster than its capacity).
+func (s *System) SetExec(i int, exec float64) error {
+	if i < 0 || i >= len(s.agents) {
+		return fmt.Errorf("core: computer index %d out of range", i)
+	}
+	if exec < s.agents[i].True {
+		return fmt.Errorf("core: execution value %g below true value %g", exec, s.agents[i].True)
+	}
+	s.agents[i].Exec = exec
+	return nil
+}
+
+// Reset returns every computer to truthful play.
+func (s *System) Reset() {
+	for i := range s.agents {
+		s.agents[i].Bid = s.agents[i].True
+		s.agents[i].Exec = s.agents[i].True
+	}
+}
+
+// Allocation returns the load each computer receives under the
+// current bids (the PR algorithm for the linear model).
+func (s *System) Allocation() ([]float64, error) {
+	return s.model.Alloc(mech.Bids(s.agents), s.rate)
+}
+
+// OptimalLatency returns the minimum total latency achievable if every
+// computer were truthful.
+func (s *System) OptimalLatency() (float64, error) {
+	return s.model.OptimalTotal(mech.Trues(s.agents), s.rate)
+}
+
+// Run executes the mechanism on the current plays: allocation,
+// verified payments and utilities.
+func (s *System) Run() (*mech.Outcome, error) {
+	return s.mechanism.Run(s.agents, s.rate)
+}
+
+// VerifyTruthfulness grid-searches deviations for computer i and
+// reports whether any beats truth-telling (none should, for the
+// paper's mechanism).
+func (s *System) VerifyTruthfulness(i int) (*game.Report, error) {
+	return game.VerifyTruthfulness(s.mechanism, s.agents, s.rate, i, game.DefaultGrid(), 0)
+}
+
+// RunProtocol executes the full message-level protocol round —
+// bid collection, PR allocation, simulated execution, execution-value
+// estimation (the verification step) and payment delivery — with jobs
+// simulated jobs and the given seed. It is only available for the
+// linear model.
+func (s *System) RunProtocol(jobs int, seed uint64) (*protocol.Result, error) {
+	if _, ok := s.model.(mech.LinearModel); !ok {
+		return nil, errors.New("core: protocol rounds require the linear model")
+	}
+	strategies := make([]protocol.Strategy, len(s.agents))
+	for i, a := range s.agents {
+		strategies[i] = protocol.FactorStrategy{
+			BidFactor:  a.Bid / a.True,
+			ExecFactor: a.Exec / a.True,
+		}
+	}
+	return protocol.Run(protocol.Config{
+		Trues:      mech.Trues(s.agents),
+		Strategies: strategies,
+		Rate:       s.rate,
+		Jobs:       jobs,
+		Seed:       seed,
+	})
+}

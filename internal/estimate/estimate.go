@@ -1,0 +1,173 @@
+// Package estimate makes the paper's verification assumption
+// operational. The paper simply posits that "the processing rate with
+// which the jobs were actually executed is known to the mechanism";
+// here the mechanism *estimates* each computer's execution value ť
+// from the per-job latencies it observes, with confidence intervals,
+// and tests the estimate against the computer's declared value.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ln2 is used by the robust median-based estimator.
+const ln2 = 0.6931471805599453
+
+// Estimate is a point estimate of an execution value ť with a normal-
+// approximation confidence interval.
+type Estimate struct {
+	// Value is the point estimate ť̂.
+	Value float64
+	// StdErr is the standard error of the point estimate.
+	StdErr float64
+	// N is the number of observations used.
+	N int
+	// Lo, Hi bound the 95% confidence interval.
+	Lo, Hi float64
+}
+
+const z95 = 1.959963984540054
+
+// FromFlowDelays estimates ť for a computer in the linear flow model
+// from observed per-job delays. At allocated rate x each delay has
+// mean ť*x, so ť̂ = mean(delay)/x.
+func FromFlowDelays(delays []float64, x float64) (Estimate, error) {
+	if len(delays) == 0 {
+		return Estimate{}, errors.New("estimate: no observations")
+	}
+	if x <= 0 || math.IsNaN(x) {
+		return Estimate{}, fmt.Errorf("estimate: invalid arrival rate %g", x)
+	}
+	var s stats.Summary
+	s.AddAll(delays)
+	v := s.Mean() / x
+	se := s.StdErr() / x
+	return Estimate{
+		Value:  v,
+		StdErr: se,
+		N:      s.N(),
+		Lo:     v - z95*se,
+		Hi:     v + z95*se,
+	}, nil
+}
+
+// FromFlowDelaysRobust estimates ť from the sample median, which for
+// exponential delays with mean ť*x sits at ť*x*ln2. It resists
+// contamination by outliers (e.g. a node occasionally stalling),
+// trading ~25% statistical efficiency for robustness. The reported
+// standard error uses the asymptotic variance of the exponential
+// median.
+func FromFlowDelaysRobust(delays []float64, x float64) (Estimate, error) {
+	if len(delays) == 0 {
+		return Estimate{}, errors.New("estimate: no observations")
+	}
+	if x <= 0 || math.IsNaN(x) {
+		return Estimate{}, fmt.Errorf("estimate: invalid arrival rate %g", x)
+	}
+	med := stats.Median(delays)
+	v := med / (x * ln2)
+	// Asymptotic: sd(median) = 1/(2 f(m) sqrt(n)) with f the density at
+	// the median; for Exp(rate λ), f(m) = λ/2, so sd = 1/(λ sqrt(n)).
+	// Here λ = 1/(ť x), estimated by the point estimate itself.
+	se := v / math.Sqrt(float64(len(delays)))
+	return Estimate{
+		Value:  v,
+		StdErr: se,
+		N:      len(delays),
+		Lo:     v - z95*se,
+		Hi:     v + z95*se,
+	}, nil
+}
+
+// FromMM1Sojourns estimates the mean service time 1/mu of an M/M/1
+// computer from observed sojourn times at arrival rate x: the mean
+// sojourn is 1/(mu-x), so the service-rate estimate inverts it.
+// Successive sojourn times in a queue are strongly correlated, so the
+// standard error of the mean sojourn is estimated with batch means
+// (an i.i.d. standard error would make the interval under-cover
+// badly) and then propagated through the inversion by the delta
+// method.
+func FromMM1Sojourns(sojourns []float64, x float64) (Estimate, error) {
+	if len(sojourns) == 0 {
+		return Estimate{}, errors.New("estimate: no observations")
+	}
+	if x < 0 || math.IsNaN(x) {
+		return Estimate{}, fmt.Errorf("estimate: invalid arrival rate %g", x)
+	}
+	var w, seW float64
+	if len(sojourns) >= 4 {
+		var err error
+		w, seW, err = stats.BatchMeans(sojourns, 0)
+		if err != nil {
+			return Estimate{}, err
+		}
+	} else {
+		var s stats.Summary
+		s.AddAll(sojourns)
+		w, seW = s.Mean(), s.StdErr()
+	}
+	if w <= 0 {
+		return Estimate{}, errors.New("estimate: non-positive mean sojourn")
+	}
+	mu := x + 1/w
+	v := 1 / mu
+	// dv/dw = 1/(w*mu)^2; propagate the batch-means standard error.
+	dvdw := 1 / ((w * mu) * (w * mu))
+	se := math.Abs(dvdw) * seW
+	return Estimate{
+		Value:  v,
+		StdErr: se,
+		N:      len(sojourns),
+		Lo:     v - z95*se,
+		Hi:     v + z95*se,
+	}, nil
+}
+
+// Verdict is the outcome of testing an estimated execution value
+// against a declared one.
+type Verdict struct {
+	// Estimated is the point estimate ť̂.
+	Estimated float64
+	// Declared is the value the computer bid.
+	Declared float64
+	// ZScore is (estimated - declared) / stderr.
+	ZScore float64
+	// Deviating is true when the estimate exceeds the declaration by
+	// more than the chosen significance threshold — the computer
+	// executed slower than it promised.
+	Deviating bool
+}
+
+// Verify tests whether est is statistically above declared at the
+// given one-sided z threshold (e.g. 3 for ~0.1% false positives).
+// Only slower-than-declared execution counts as deviation, mirroring
+// the paper's ť >= t assumption.
+func Verify(est Estimate, declared, zThreshold float64) Verdict {
+	return VerifyWithMargin(est, declared, zThreshold, 0)
+}
+
+// VerifyWithMargin additionally requires *practical* significance: the
+// estimate must exceed declared*(1+margin) at the z threshold, not
+// just declared. With very large samples a statistically significant
+// excess can be operationally meaningless (estimator bias under
+// measurement faults is on the order of the contamination fraction),
+// so production deployments should set a margin reflecting the
+// smallest slowdown worth punishing.
+func VerifyWithMargin(est Estimate, declared, zThreshold, margin float64) Verdict {
+	v := Verdict{Estimated: est.Value, Declared: declared}
+	threshold := declared * (1 + margin)
+	if est.StdErr > 0 {
+		v.ZScore = (est.Value - threshold) / est.StdErr
+	} else if est.Value != threshold {
+		v.ZScore = math.Inf(1)
+		if est.Value < threshold {
+			v.ZScore = math.Inf(-1)
+		}
+	}
+	v.Deviating = v.ZScore > zThreshold
+	return v
+}

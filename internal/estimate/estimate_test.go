@@ -1,0 +1,189 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/numeric"
+	"repro/internal/workload"
+)
+
+// expDelays draws n exponential delays with mean tExec*x.
+func expDelays(tExec, x float64, n int, seed uint64) []float64 {
+	rng := numeric.NewRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = tExec * x * rng.ExpFloat64()
+	}
+	return out
+}
+
+func TestFromFlowDelaysRecoversValue(t *testing.T) {
+	const tExec, x = 2.5, 4.0
+	est, err := FromFlowDelays(expDelays(tExec, x, 50000, 1), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-tExec)/tExec > 0.02 {
+		t.Errorf("estimate = %v, want ~%v", est.Value, tExec)
+	}
+	if est.Lo > tExec || est.Hi < tExec {
+		t.Errorf("CI (%v, %v) misses true value %v", est.Lo, est.Hi, tExec)
+	}
+	if est.N != 50000 {
+		t.Errorf("N = %d", est.N)
+	}
+}
+
+func TestFromFlowDelaysCICoverage(t *testing.T) {
+	// ~95% of intervals should cover the truth.
+	const tExec, x = 1.5, 3.0
+	covered := 0
+	const trials = 400
+	for s := 0; s < trials; s++ {
+		est, err := FromFlowDelays(expDelays(tExec, x, 400, uint64(s+10)), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Lo <= tExec && tExec <= est.Hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("CI coverage = %v, want ~0.95", frac)
+	}
+}
+
+func TestFromFlowDelaysErrors(t *testing.T) {
+	if _, err := FromFlowDelays(nil, 1); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := FromFlowDelays([]float64{1}, 0); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if _, err := FromFlowDelays([]float64{1}, math.NaN()); err == nil {
+		t.Error("expected error for NaN rate")
+	}
+}
+
+func TestRobustEstimatorUnderContamination(t *testing.T) {
+	const tExec, x = 2.0, 3.0
+	delays := expDelays(tExec, x, 20000, 5)
+	// Contaminate 2% of the sample with huge stalls.
+	for i := 0; i < len(delays); i += 50 {
+		delays[i] = 1000
+	}
+	mean, err := FromFlowDelays(delays, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := FromFlowDelaysRobust(delays, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanErr := math.Abs(mean.Value - tExec)
+	robustErr := math.Abs(robust.Value - tExec)
+	if robustErr >= meanErr {
+		t.Errorf("robust error %v should beat mean error %v under contamination",
+			robustErr, meanErr)
+	}
+	if robustErr/tExec > 0.05 {
+		t.Errorf("robust estimate %v too far from %v", robust.Value, tExec)
+	}
+}
+
+func TestRobustEstimatorCleanData(t *testing.T) {
+	const tExec, x = 0.5, 8.0
+	est, err := FromFlowDelaysRobust(expDelays(tExec, x, 50000, 9), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-tExec)/tExec > 0.03 {
+		t.Errorf("robust estimate = %v, want ~%v", est.Value, tExec)
+	}
+}
+
+func TestFromMM1SojournsRecoversServiceTime(t *testing.T) {
+	// Simulate a real M/M/1 queue and invert the sojourn time.
+	const mu, lambda = 3.0, 2.0
+	rng := numeric.NewRand(21)
+	res, err := cluster.Run(cluster.Config{
+		Nodes:       cluster.QueueNodes([]float64{mu}),
+		Probs:       []float64{1},
+		Source:      workload.NewPoisson(lambda, 200000, workload.ExpSize{}, rng.Split()),
+		RNG:         rng.Split(),
+		KeepSamples: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := FromMM1Sojourns(res.PerNode[0].Latencies, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / mu
+	if math.Abs(est.Value-want)/want > 0.05 {
+		t.Errorf("estimated service time = %v, want ~%v", est.Value, want)
+	}
+}
+
+func TestFromMM1SojournsErrors(t *testing.T) {
+	if _, err := FromMM1Sojourns(nil, 1); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := FromMM1Sojourns([]float64{1}, -1); err == nil {
+		t.Error("expected error for negative rate")
+	}
+	if _, err := FromMM1Sojourns([]float64{0, 0}, 1); err == nil {
+		t.Error("expected error for zero sojourns")
+	}
+}
+
+func TestVerifyDetectsSlowExecution(t *testing.T) {
+	const declared, actual, x = 1.0, 2.0, 4.0
+	est, err := FromFlowDelays(expDelays(actual, x, 5000, 31), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verify(est, declared, 3)
+	if !v.Deviating {
+		t.Errorf("failed to flag a 2x slowdown: %+v", v)
+	}
+	if v.ZScore <= 3 {
+		t.Errorf("z-score %v should be large", v.ZScore)
+	}
+}
+
+func TestVerifyAcceptsHonestExecution(t *testing.T) {
+	const declared, x = 1.5, 4.0
+	falsePositives := 0
+	for s := 0; s < 200; s++ {
+		est, err := FromFlowDelays(expDelays(declared, x, 1000, uint64(100+s)), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Verify(est, declared, 3).Deviating {
+			falsePositives++
+		}
+	}
+	if falsePositives > 2 {
+		t.Errorf("%d/200 false positives at z=3, want near 0", falsePositives)
+	}
+}
+
+func TestVerifyZeroStdErr(t *testing.T) {
+	v := Verify(Estimate{Value: 2, StdErr: 0}, 1, 3)
+	if !v.Deviating || !math.IsInf(v.ZScore, 1) {
+		t.Errorf("degenerate slow case: %+v", v)
+	}
+	v = Verify(Estimate{Value: 1, StdErr: 0}, 1, 3)
+	if v.Deviating {
+		t.Errorf("exact match flagged: %+v", v)
+	}
+	v = Verify(Estimate{Value: 0.5, StdErr: 0}, 1, 3)
+	if v.Deviating {
+		t.Errorf("faster-than-declared flagged as deviating: %+v", v)
+	}
+}

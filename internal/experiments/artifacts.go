@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Artifact is one reproducible output of the paper: a table or figure
+// with renderers for ASCII/CSV (Table) and ASCII/SVG (Chart).
+type Artifact struct {
+	// ID is the short handle ("table1", "fig2", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Table produces the tabular form of the artifact.
+	Table func() (*report.Table, error)
+	// Chart produces the bar-chart form, or nil for table-only
+	// artifacts.
+	Chart func() (*report.BarChart, error)
+	// Line produces a line-chart form, or nil (used by the sweep
+	// extensions).
+	Line func() (*report.LineChart, error)
+	// Heat produces a heatmap form, or nil (used by the deviation
+	// surface).
+	Heat func() (*report.Heatmap, error)
+}
+
+// Artifacts returns every table and figure of the paper plus the DES
+// cross-check, in paper order.
+func Artifacts() []Artifact {
+	return []Artifact{
+		{ID: "table1", Title: "Table 1: system configuration", Table: Table1},
+		{ID: "table2", Title: "Table 2: types of experiments", Table: Table2},
+		{ID: "fig1", Title: "Figure 1: performance degradation", Table: figure1Table, Chart: Figure1Chart},
+		{ID: "fig2", Title: "Figure 2: payment and utility for computer C1", Table: figure2Table, Chart: Figure2Chart},
+		{ID: "fig3", Title: "Figure 3: payment and utility for each computer (True1)", Table: figure3Table, Chart: Figure3Chart},
+		{ID: "fig4", Title: "Figure 4: payment and utility for each computer (High1)", Table: figure4Table, Chart: Figure4Chart},
+		{ID: "fig5", Title: "Figure 5: payment and utility for each computer (Low1)", Table: figure5Table, Chart: Figure5Chart},
+		{ID: "fig6", Title: "Figure 6: payment structure", Table: figure6Table, Chart: Figure6Chart},
+		{ID: "des", Title: "DES cross-check: analytic vs simulated total latency", Table: desTable},
+	}
+}
+
+// ArtifactByID looks up an artifact among the paper artifacts and the
+// extension artifacts.
+func ArtifactByID(id string) (Artifact, error) {
+	for _, a := range Artifacts() {
+		if a.ID == id {
+			return a, nil
+		}
+	}
+	for _, a := range ExtendedArtifacts() {
+		if a.ID == id {
+			return a, nil
+		}
+	}
+	return Artifact{}, fmt.Errorf("experiments: unknown artifact %q", id)
+}
+
+// Table1 renders the system configuration.
+func Table1() (*report.Table, error) {
+	t := report.NewTable("Table 1. System configuration.", "Computers", "True value (t)")
+	t.AddRow("C1 - C2", "1")
+	t.AddRow("C3 - C5", "2")
+	t.AddRow("C6 - C10", "5")
+	t.AddRow("C11 - C16", "10")
+	return t, nil
+}
+
+// Table2 renders the experiment definitions.
+func Table2() (*report.Table, error) {
+	t := report.NewTable("Table 2. Types of experiments.",
+		"Experiment", "Bid b1", "Execution t1~", "Characterization")
+	for _, e := range Table2Experiments() {
+		t.AddRow(e.Name,
+			report.FormatFloat(e.BidFactor)+"*t1",
+			report.FormatFloat(e.ExecFactor)+"*t1",
+			e.Note)
+	}
+	return t, nil
+}
+
+func figure1Table() (*report.Table, error) {
+	rows, err := Figure1()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 1. Performance degradation.",
+		"Experiment", "Total latency", "Increase vs optimum (%)")
+	for _, r := range rows {
+		t.AddFloats(r.Experiment, r.Latency, r.PctIncrease)
+	}
+	return t, nil
+}
+
+// Figure1Chart renders Figure 1 as a bar chart.
+func Figure1Chart() (*report.BarChart, error) {
+	rows, err := Figure1()
+	if err != nil {
+		return nil, err
+	}
+	c := &report.BarChart{Title: "Figure 1. Performance degradation (total latency)"}
+	var vals []float64
+	for _, r := range rows {
+		c.Labels = append(c.Labels, r.Experiment)
+		vals = append(vals, r.Latency)
+	}
+	c.Series = []report.Series{{Name: "total latency", Values: vals}}
+	return c, nil
+}
+
+func figure2Table() (*report.Table, error) {
+	rows, err := Figure2()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 2. Payment and utility for computer C1.",
+		"Experiment", "Payment", "Utility")
+	for _, r := range rows {
+		t.AddFloats(r.Experiment, r.Payment, r.Utility)
+	}
+	return t, nil
+}
+
+// Figure2Chart renders Figure 2 as a grouped bar chart.
+func Figure2Chart() (*report.BarChart, error) {
+	rows, err := Figure2()
+	if err != nil {
+		return nil, err
+	}
+	c := &report.BarChart{Title: "Figure 2. Payment and utility for computer C1"}
+	var pay, util []float64
+	for _, r := range rows {
+		c.Labels = append(c.Labels, r.Experiment)
+		pay = append(pay, r.Payment)
+		util = append(util, r.Utility)
+	}
+	c.Series = []report.Series{
+		{Name: "payment", Values: pay},
+		{Name: "utility", Values: util},
+	}
+	return c, nil
+}
+
+func perAgentTable(title string, rows []PerAgentRow) *report.Table {
+	t := report.NewTable(title, "Computer", "Payment", "Utility")
+	for _, r := range rows {
+		t.AddFloats(r.Computer, r.Payment, r.Utility)
+	}
+	return t
+}
+
+func perAgentChart(title string, rows []PerAgentRow) *report.BarChart {
+	c := &report.BarChart{Title: title}
+	var pay, util []float64
+	for _, r := range rows {
+		c.Labels = append(c.Labels, r.Computer)
+		pay = append(pay, r.Payment)
+		util = append(util, r.Utility)
+	}
+	c.Series = []report.Series{
+		{Name: "payment", Values: pay},
+		{Name: "utility", Values: util},
+	}
+	return c
+}
+
+func figure3Table() (*report.Table, error) {
+	rows, err := Figure3()
+	if err != nil {
+		return nil, err
+	}
+	return perAgentTable("Figure 3. Payment and utility for each computer (True1).", rows), nil
+}
+
+// Figure3Chart renders Figure 3 as a grouped bar chart.
+func Figure3Chart() (*report.BarChart, error) {
+	rows, err := Figure3()
+	if err != nil {
+		return nil, err
+	}
+	return perAgentChart("Figure 3. Payment and utility for each computer (True1)", rows), nil
+}
+
+func figure4Table() (*report.Table, error) {
+	rows, err := Figure4()
+	if err != nil {
+		return nil, err
+	}
+	return perAgentTable("Figure 4. Payment and utility for each computer (High1).", rows), nil
+}
+
+// Figure4Chart renders Figure 4 as a grouped bar chart.
+func Figure4Chart() (*report.BarChart, error) {
+	rows, err := Figure4()
+	if err != nil {
+		return nil, err
+	}
+	return perAgentChart("Figure 4. Payment and utility for each computer (High1)", rows), nil
+}
+
+func figure5Table() (*report.Table, error) {
+	rows, err := Figure5()
+	if err != nil {
+		return nil, err
+	}
+	return perAgentTable("Figure 5. Payment and utility for each computer (Low1).", rows), nil
+}
+
+// Figure5Chart renders Figure 5 as a grouped bar chart.
+func Figure5Chart() (*report.BarChart, error) {
+	rows, err := Figure5()
+	if err != nil {
+		return nil, err
+	}
+	return perAgentChart("Figure 5. Payment and utility for each computer (Low1)", rows), nil
+}
+
+func figure6Table() (*report.Table, error) {
+	rows, err := Figure6()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 6. Payment structure.",
+		"Experiment", "Total valuation", "Total compensation", "Total bonus",
+		"Total payment", "Payment/valuation")
+	for _, r := range rows {
+		t.AddFloats(r.Experiment, r.TotalValuation, r.TotalCompensation,
+			r.TotalBonus, r.TotalPayment, r.Ratio)
+	}
+	return t, nil
+}
+
+// Figure6Chart renders Figure 6 as a grouped bar chart of total
+// valuation vs total payment.
+func Figure6Chart() (*report.BarChart, error) {
+	rows, err := Figure6()
+	if err != nil {
+		return nil, err
+	}
+	c := &report.BarChart{Title: "Figure 6. Payment structure"}
+	var val, pay []float64
+	for _, r := range rows {
+		c.Labels = append(c.Labels, r.Experiment)
+		val = append(val, r.TotalValuation)
+		pay = append(pay, r.TotalPayment)
+	}
+	c.Series = []report.Series{
+		{Name: "total valuation", Values: val},
+		{Name: "total payment", Values: pay},
+	}
+	return c, nil
+}
+
+func desTable() (*report.Table, error) {
+	rows, err := DESCrossCheck(100000, 2026)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("DES cross-check (100k jobs).",
+		"Experiment", "Analytic latency", "Simulated latency", "Relative error")
+	for _, r := range rows {
+		t.AddFloats(r.Experiment, r.Analytic, r.Simulated, r.RelErr)
+	}
+	return t, nil
+}

@@ -1,0 +1,262 @@
+// Package experiments encodes the evaluation section of the paper:
+// the 16-computer system of Table 1, the eight deviation scenarios of
+// Table 2, and generators for the data behind Figures 1-6, plus a
+// discrete-event cross-check and a machine-checkable list of the
+// paper's quantitative claims.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mech"
+	"repro/internal/numeric"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PaperRate is the job arrival rate R = 20 jobs/s used throughout the
+// paper's evaluation.
+const PaperRate = 20.0
+
+// OptimalLatency is the paper's headline truthful optimum
+// L* = R^2 / sum(1/t) = 400/5.1.
+const OptimalLatency = 400.0 / 5.1
+
+// PaperTrueValues returns the Table 1 configuration: two computers
+// with t=1, three with t=2, five with t=5 and six with t=10. (The
+// numeric column of the supplied text was corrupted; these values are
+// pinned by the paper's reported optimum L=78.43 — see DESIGN.md.)
+func PaperTrueValues() []float64 {
+	return []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10}
+}
+
+// Experiment is one Table 2 scenario: computer C1 bids
+// BidFactor*t1 and executes at ExecFactor*t1 while everyone else is
+// truthful.
+type Experiment struct {
+	// Name is the paper's experiment label (True1, ..., Low2).
+	Name string
+	// BidFactor scales C1's bid.
+	BidFactor float64
+	// ExecFactor scales C1's execution value.
+	ExecFactor float64
+	// Note describes the scenario in the paper's terms.
+	Note string
+}
+
+// Table2Experiments returns the paper's eight experiments. True2's
+// execution factor is reconstructed as 2 (the factor every other
+// "slower" scenario uses); High4's as 4 (one step slower than its
+// bid); see DESIGN.md for the derivation.
+func Table2Experiments() []Experiment {
+	return []Experiment{
+		{Name: "True1", BidFactor: 1, ExecFactor: 1, Note: "truthful bid, full capacity"},
+		{Name: "True2", BidFactor: 1, ExecFactor: 2, Note: "truthful bid, slower execution"},
+		{Name: "High1", BidFactor: 3, ExecFactor: 3, Note: "high bid, executes at bid"},
+		{Name: "High2", BidFactor: 3, ExecFactor: 1, Note: "high bid, full capacity"},
+		{Name: "High3", BidFactor: 3, ExecFactor: 2, Note: "high bid, faster than bid"},
+		{Name: "High4", BidFactor: 3, ExecFactor: 4, Note: "high bid, slower than bid"},
+		{Name: "Low1", BidFactor: 0.5, ExecFactor: 1, Note: "low bid, full capacity"},
+		{Name: "Low2", BidFactor: 0.5, ExecFactor: 2, Note: "low bid, slower execution"},
+	}
+}
+
+// ExperimentByName looks up a Table 2 experiment.
+func ExperimentByName(name string) (Experiment, error) {
+	for _, e := range Table2Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// Agents returns the paper population with C1 playing the experiment's
+// deviation.
+func (e Experiment) Agents() []mech.Agent {
+	agents := mech.Truthful(PaperTrueValues())
+	agents[0].Bid = e.BidFactor * agents[0].True
+	agents[0].Exec = e.ExecFactor * agents[0].True
+	return agents
+}
+
+// Run executes the paper's verification mechanism on the experiment.
+func (e Experiment) Run() (*mech.Outcome, error) {
+	return mech.CompensationBonus{}.Run(e.Agents(), PaperRate)
+}
+
+// Fig1Row is one bar of Figure 1 (performance degradation).
+type Fig1Row struct {
+	// Experiment is the scenario name.
+	Experiment string
+	// Latency is the realized total latency.
+	Latency float64
+	// PctIncrease is the increase over the truthful optimum, percent.
+	PctIncrease float64
+}
+
+// Figure1 computes the realized total latency of every experiment.
+func Figure1() ([]Fig1Row, error) {
+	var rows []Fig1Row
+	for _, e := range Table2Experiments() {
+		o, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
+		}
+		rows = append(rows, Fig1Row{
+			Experiment:  e.Name,
+			Latency:     o.RealLatency,
+			PctIncrease: 100 * (o.RealLatency/OptimalLatency - 1),
+		})
+	}
+	return rows, nil
+}
+
+// Fig2Row is one group of Figure 2 (payment and utility of C1).
+type Fig2Row struct {
+	// Experiment is the scenario name.
+	Experiment string
+	// Payment and Utility are C1's payment and utility.
+	Payment, Utility float64
+}
+
+// Figure2 computes C1's payment and utility in every experiment.
+func Figure2() ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, e := range Table2Experiments() {
+		o, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
+		}
+		rows = append(rows, Fig2Row{Experiment: e.Name, Payment: o.Payment[0], Utility: o.Utility[0]})
+	}
+	return rows, nil
+}
+
+// PerAgentRow is one group of Figures 3-5 (payment and utility per
+// computer in a fixed experiment).
+type PerAgentRow struct {
+	// Computer is the agent name (C1..C16).
+	Computer string
+	// Payment and Utility are the agent's payment and utility.
+	Payment, Utility float64
+}
+
+// perAgent computes Figures 3-5 data for the named experiment.
+func perAgent(name string) ([]PerAgentRow, error) {
+	e, err := ExperimentByName(name)
+	if err != nil {
+		return nil, err
+	}
+	o, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	agents := e.Agents()
+	rows := make([]PerAgentRow, len(agents))
+	for i, a := range agents {
+		rows[i] = PerAgentRow{Computer: a.Name, Payment: o.Payment[i], Utility: o.Utility[i]}
+	}
+	return rows, nil
+}
+
+// Figure3 is the per-computer payment structure in True1.
+func Figure3() ([]PerAgentRow, error) { return perAgent("True1") }
+
+// Figure4 is the per-computer payment structure in High1.
+func Figure4() ([]PerAgentRow, error) { return perAgent("High1") }
+
+// Figure5 is the per-computer payment structure in Low1.
+func Figure5() ([]PerAgentRow, error) { return perAgent("Low1") }
+
+// Fig6Row is one group of Figure 6 (payment structure / frugality).
+type Fig6Row struct {
+	// Experiment is the scenario name.
+	Experiment string
+	// TotalValuation is sum_i |V_i|.
+	TotalValuation float64
+	// TotalCompensation and TotalBonus decompose the total payment.
+	TotalCompensation, TotalBonus float64
+	// TotalPayment is the mechanism's total outlay.
+	TotalPayment float64
+	// Ratio is TotalPayment / TotalValuation, the frugality measure.
+	Ratio float64
+}
+
+// Figure6 computes the payment structure of every experiment.
+func Figure6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, e := range Table2Experiments() {
+		o, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.Name, err)
+		}
+		row := Fig6Row{
+			Experiment:     e.Name,
+			TotalValuation: o.TotalValuation(),
+			TotalPayment:   o.TotalPayment(),
+			Ratio:          o.FrugalityRatio(),
+		}
+		row.TotalCompensation = numeric.Sum(o.Compensation)
+		row.TotalBonus = numeric.Sum(o.Bonus)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DESRow compares the analytic realized latency of one experiment with
+// a discrete-event simulation of the same scenario.
+type DESRow struct {
+	// Experiment is the scenario name.
+	Experiment string
+	// Analytic is the flow-model total latency (what the paper
+	// computes).
+	Analytic float64
+	// Simulated is the DES measurement.
+	Simulated float64
+	// RelErr is |Simulated-Analytic|/Analytic.
+	RelErr float64
+}
+
+// DESCrossCheck simulates every Table 2 experiment on the
+// discrete-event cluster with the given number of jobs and compares
+// against the analytic latencies of Figure 1. The eight simulations
+// are independent and run in parallel, each on its own deterministic
+// stream derived from (seed, experiment index), so results do not
+// depend on scheduling.
+func DESCrossCheck(jobs int, seed uint64) ([]DESRow, error) {
+	if jobs <= 0 {
+		jobs = 100000
+	}
+	exps := Table2Experiments()
+	return parallel.MapErr(len(exps), 0, func(k int) (DESRow, error) {
+		e := exps[k]
+		rng := numeric.NewRand(seed ^ (0x9e3779b97f4a7c15 * uint64(k+1)))
+		o, err := e.Run()
+		if err != nil {
+			return DESRow{}, err
+		}
+		agents := e.Agents()
+		nodes, err := cluster.FlowNodes(mech.Execs(agents), o.Alloc, rng.Split())
+		if err != nil {
+			return DESRow{}, err
+		}
+		res, err := cluster.Run(cluster.Config{
+			Nodes:  nodes,
+			Probs:  cluster.Probs(o.Alloc, PaperRate),
+			Source: workload.NewPoisson(PaperRate, jobs, nil, rng.Split()),
+			RNG:    rng.Split(),
+		})
+		if err != nil {
+			return DESRow{}, fmt.Errorf("experiments: DES %s: %w", e.Name, err)
+		}
+		return DESRow{
+			Experiment: e.Name,
+			Analytic:   o.RealLatency,
+			Simulated:  res.TotalLatencyRate,
+			RelErr:     stats.RelErr(res.TotalLatencyRate, o.RealLatency),
+		}, nil
+	})
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/mech"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Extended experiments beyond the paper's figures: parameter sweeps
+// that probe how the mechanism behaves as the arrival rate, system
+// size and observation budget change. They back the "ext-*" artifacts
+// and the extension benchmarks.
+
+// RateSweepRow is one point of the arrival-rate sweep.
+type RateSweepRow struct {
+	// Rate is the total arrival rate R.
+	Rate float64
+	// OptLatency is the truthful optimum at this rate.
+	OptLatency float64
+	// Low2Latency is the realized latency under the Low2 deviation.
+	Low2Latency float64
+	// C1TruthUtility and C1Low2Utility are C1's utilities under
+	// truthful play and under Low2.
+	C1TruthUtility, C1Low2Utility float64
+	// Frugality is the truthful payment/valuation ratio.
+	Frugality float64
+}
+
+// RateSweep evaluates the paper system across arrival rates. Latencies
+// scale as R^2 and the frugality ratio is scale-free, which the tests
+// assert — the sweep demonstrates it rather than assumes it.
+func RateSweep(rates []float64) ([]RateSweepRow, error) {
+	if len(rates) == 0 {
+		rates = []float64{1, 2, 5, 10, 20, 30, 40}
+	}
+	m := mech.CompensationBonus{}
+	low2, err := ExperimentByName("Low2")
+	if err != nil {
+		return nil, err
+	}
+	var rows []RateSweepRow
+	for _, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("experiments: invalid rate %g", r)
+		}
+		truth, err := m.Run(mech.Truthful(PaperTrueValues()), r)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := m.Run(low2.Agents(), r)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RateSweepRow{
+			Rate:           r,
+			OptLatency:     truth.RealLatency,
+			Low2Latency:    dev.RealLatency,
+			C1TruthUtility: truth.Utility[0],
+			C1Low2Utility:  dev.Utility[0],
+			Frugality:      truth.FrugalityRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// SizeSweepRow is one point of the system-size sweep.
+type SizeSweepRow struct {
+	// N is the number of computers.
+	N int
+	// OptLatency is the truthful optimum.
+	OptLatency float64
+	// Frugality is the truthful payment/valuation ratio.
+	Frugality float64
+	// MinUtility is the smallest truthful utility (voluntary
+	// participation margin).
+	MinUtility float64
+}
+
+// SizeSweep evaluates the mechanism on growing systems built by
+// repeating the paper's {1,2,5,10} speed ladder, at a rate that scales
+// with n to keep per-computer load comparable.
+func SizeSweep(sizes []int) ([]SizeSweepRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{4, 8, 16, 32, 64, 128}
+	}
+	ladder := []float64{1, 2, 5, 10}
+	m := mech.CompensationBonus{}
+	var rows []SizeSweepRow
+	for _, n := range sizes {
+		if n < 2 {
+			return nil, fmt.Errorf("experiments: invalid size %d", n)
+		}
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = ladder[i%len(ladder)]
+		}
+		rate := 1.25 * float64(n) // paper density: R=20 for n=16
+		o, err := m.Run(mech.Truthful(ts), rate)
+		if err != nil {
+			return nil, err
+		}
+		row := SizeSweepRow{N: n, OptLatency: o.RealLatency, Frugality: o.FrugalityRatio()}
+		row.MinUtility = o.Utility[0]
+		for _, u := range o.Utility {
+			if u < row.MinUtility {
+				row.MinUtility = u
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// EstimatorRow is one point of the verification-accuracy sweep.
+type EstimatorRow struct {
+	// Jobs is the number of simulated jobs in the round.
+	Jobs int
+	// MaxEstErr is the largest relative error of the 16 execution-
+	// value estimates.
+	MaxEstErr float64
+	// MaxPayErr is the largest relative payment error vs the oracle
+	// (exact execution values).
+	MaxPayErr float64
+	// FalseFlags counts honest computers flagged as deviating.
+	FalseFlags int
+}
+
+// EstimatorConvergence runs truthful protocol rounds with growing
+// observation budgets and reports how the verification estimates and
+// the resulting payments converge to the oracle.
+func EstimatorConvergence(jobCounts []int, seed uint64) ([]EstimatorRow, error) {
+	if len(jobCounts) == 0 {
+		jobCounts = []int{1000, 5000, 20000, 100000}
+	}
+	var rows []EstimatorRow
+	for _, jobs := range jobCounts {
+		res, err := protocol.Run(protocol.Config{
+			Trues: PaperTrueValues(),
+			Rate:  PaperRate,
+			Jobs:  jobs,
+			Seed:  seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := EstimatorRow{Jobs: jobs}
+		trues := PaperTrueValues()
+		for i := range trues {
+			if e := stats.RelErr(res.Estimates[i].Value, trues[i]); e > row.MaxEstErr {
+				row.MaxEstErr = e
+			}
+			if e := stats.RelErr(res.Outcome.Payment[i], res.Oracle.Payment[i]); e > row.MaxPayErr {
+				row.MaxPayErr = e
+			}
+			if res.Verdicts[i].Deviating {
+				row.FalseFlags++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SurfaceRow is one point of the deviation utility surface for C1.
+type SurfaceRow struct {
+	// BidFactor and ExecFactor are the deviation multipliers.
+	BidFactor, ExecFactor float64
+	// Utility is C1's resulting utility.
+	Utility float64
+	// Loss is the utility shortfall vs truthful play (>= 0 for a
+	// truthful mechanism).
+	Loss float64
+}
+
+// DeviationSurface maps C1's utility across a bid x execution grid
+// under the verification mechanism — the empirical content of
+// Theorem 3.1 as a dataset.
+func DeviationSurface(bidFactors, execFactors []float64) ([]SurfaceRow, error) {
+	if len(bidFactors) == 0 {
+		bidFactors = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5}
+	}
+	if len(execFactors) == 0 {
+		execFactors = []float64{1, 1.5, 2, 3}
+	}
+	m := mech.CompensationBonus{}
+	truth, err := m.Run(mech.Truthful(PaperTrueValues()), PaperRate)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SurfaceRow
+	for _, bf := range bidFactors {
+		for _, ef := range execFactors {
+			agents := mech.Truthful(PaperTrueValues())
+			agents[0].Bid = bf * agents[0].True
+			agents[0].Exec = ef * agents[0].True
+			o, err := m.Run(agents, PaperRate)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SurfaceRow{
+				BidFactor:  bf,
+				ExecFactor: ef,
+				Utility:    o.Utility[0],
+				Loss:       truth.Utility[0] - o.Utility[0],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ExtendedArtifacts returns the extension tables (not in the paper).
+func ExtendedArtifacts() []Artifact {
+	return []Artifact{
+		{ID: "ext-rate", Title: "Extension: arrival-rate sweep", Table: rateSweepTable, Line: RateSweepChart},
+		{ID: "ext-size", Title: "Extension: system-size sweep", Table: sizeSweepTable},
+		{ID: "ext-estimator", Title: "Extension: verification accuracy vs observation budget", Table: estimatorTable, Line: EstimatorChart},
+		{ID: "ext-surface", Title: "Extension: deviation utility surface for C1", Table: surfaceTable, Heat: SurfaceHeatmap},
+		{ID: "ext-hetero", Title: "Extension: heterogeneity sweep", Table: heterogeneityTable},
+		{ID: "ext-collusion", Title: "Extension: pairwise collusion gains", Table: collusionTable},
+		{ID: "ext-poa", Title: "Extension: price of anarchy of the unpriced game", Table: poaTable},
+		{ID: "ext-shapley", Title: "Extension: cooperative (Shapley) vs mechanism attribution", Table: shapleyTable},
+		{ID: "ext-protocol", Title: "Extension: Figure 2 end-to-end with estimated execution values", Table: protocolFigTable},
+	}
+}
+
+// RateSweepChart renders the rate sweep as a line chart.
+func RateSweepChart() (*report.LineChart, error) {
+	rows, err := RateSweep(nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &report.LineChart{
+		Title:  "Total latency vs arrival rate",
+		XLabel: "R (jobs/s)",
+		YLabel: "total latency",
+	}
+	var opt, low2 []float64
+	for _, r := range rows {
+		c.X = append(c.X, r.Rate)
+		opt = append(opt, r.OptLatency)
+		low2 = append(low2, r.Low2Latency)
+	}
+	c.Series = []report.Series{
+		{Name: "truthful optimum", Values: opt},
+		{Name: "Low2 deviation", Values: low2},
+	}
+	return c, nil
+}
+
+// EstimatorChart renders the verification-accuracy sweep as a
+// log-scale line chart.
+func EstimatorChart() (*report.LineChart, error) {
+	rows, err := EstimatorConvergence(nil, 2026)
+	if err != nil {
+		return nil, err
+	}
+	c := &report.LineChart{
+		Title:  "Verification accuracy vs observation budget",
+		XLabel: "simulated jobs",
+		YLabel: "max relative error",
+		LogY:   true,
+	}
+	var est, pay []float64
+	for _, r := range rows {
+		c.X = append(c.X, float64(r.Jobs))
+		est = append(est, r.MaxEstErr)
+		pay = append(pay, r.MaxPayErr)
+	}
+	c.Series = []report.Series{
+		{Name: "execution-value estimate", Values: est},
+		{Name: "payment", Values: pay},
+	}
+	return c, nil
+}
+
+func rateSweepTable() (*report.Table, error) {
+	rows, err := RateSweep(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Arrival-rate sweep (truthful vs Low2).",
+		"R", "Optimal L", "Low2 L", "C1 truthful U", "C1 Low2 U", "Frugality")
+	for _, r := range rows {
+		t.AddFloats(report.FormatFloat(r.Rate), r.OptLatency, r.Low2Latency,
+			r.C1TruthUtility, r.C1Low2Utility, r.Frugality)
+	}
+	return t, nil
+}
+
+func sizeSweepTable() (*report.Table, error) {
+	rows, err := SizeSweep(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("System-size sweep (repeated {1,2,5,10} ladder, R = 1.25n).",
+		"n", "Optimal L", "Frugality", "Min truthful utility")
+	for _, r := range rows {
+		t.AddFloats(fmt.Sprintf("%d", r.N), r.OptLatency, r.Frugality, r.MinUtility)
+	}
+	return t, nil
+}
+
+func estimatorTable() (*report.Table, error) {
+	rows, err := EstimatorConvergence(nil, 2026)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Verification accuracy vs observation budget (truthful rounds).",
+		"Jobs", "Max estimate rel err", "Max payment rel err", "False flags")
+	for _, r := range rows {
+		t.AddFloats(fmt.Sprintf("%d", r.Jobs), r.MaxEstErr, r.MaxPayErr, float64(r.FalseFlags))
+	}
+	return t, nil
+}
+
+// SurfaceHeatmap renders the deviation-loss surface (Theorem 3.1 as a
+// picture): rows are execution factors, columns bid factors, color is
+// the utility loss relative to truth. The zero cell sits exactly at
+// (bid 1x, exec 1x).
+func SurfaceHeatmap() (*report.Heatmap, error) {
+	bidFactors := []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5}
+	execFactors := []float64{1, 1.5, 2, 3}
+	rows, err := DeviationSurface(bidFactors, execFactors)
+	if err != nil {
+		return nil, err
+	}
+	h := &report.Heatmap{Title: "C1 utility loss vs truthful play"}
+	for _, b := range bidFactors {
+		h.XLabels = append(h.XLabels, "b="+report.FormatFloat(b))
+	}
+	for _, e := range execFactors {
+		h.YLabels = append(h.YLabels, "e="+report.FormatFloat(e))
+	}
+	h.Values = make([][]float64, len(execFactors))
+	for r := range h.Values {
+		h.Values[r] = make([]float64, len(bidFactors))
+	}
+	// DeviationSurface iterates bid-major.
+	k := 0
+	for c := range bidFactors {
+		for r := range execFactors {
+			h.Values[r][c] = rows[k].Loss
+			k++
+		}
+	}
+	return h, nil
+}
+
+func surfaceTable() (*report.Table, error) {
+	rows, err := DeviationSurface(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Deviation utility surface for C1 (verification mechanism).",
+		"Bid factor", "Exec factor", "Utility", "Loss vs truth")
+	for _, r := range rows {
+		t.AddFloats(report.FormatFloat(r.BidFactor), r.ExecFactor, r.Utility, r.Loss)
+	}
+	return t, nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRateSweepScaling(t *testing.T) {
+	rows, err := RateSweep([]float64{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Latency scales as R^2: doubling R quadruples L.
+	if e := stats.RelErr(rows[1].OptLatency, 4*rows[0].OptLatency); e > 1e-9 {
+		t.Errorf("R^2 scaling broken: %v vs %v", rows[1].OptLatency, 4*rows[0].OptLatency)
+	}
+	if e := stats.RelErr(rows[2].OptLatency, 4*rows[1].OptLatency); e > 1e-9 {
+		t.Errorf("R^2 scaling broken at 40")
+	}
+	// Frugality is NOT scale-free under the paper's per-job valuation
+	// convention: compensation scales as R while bonuses scale as R^2,
+	// so (ratio - 1) grows linearly in R. Doubling R doubles it.
+	if e := stats.RelErr(rows[1].Frugality-1, 2*(rows[0].Frugality-1)); e > 1e-9 {
+		t.Errorf("frugality scaling law broken: ratio-1 at R=20 is %v, want 2x %v",
+			rows[1].Frugality-1, rows[0].Frugality-1)
+	}
+	if e := stats.RelErr(rows[2].Frugality-1, 2*(rows[1].Frugality-1)); e > 1e-9 {
+		t.Errorf("frugality scaling law broken at R=40")
+	}
+	// Low2 stays unprofitable at every rate.
+	for _, r := range rows {
+		if r.C1Low2Utility >= r.C1TruthUtility {
+			t.Errorf("R=%v: Low2 profitable", r.Rate)
+		}
+		if r.Low2Latency <= r.OptLatency {
+			t.Errorf("R=%v: Low2 did not degrade the system", r.Rate)
+		}
+	}
+}
+
+func TestRateSweepValidation(t *testing.T) {
+	if _, err := RateSweep([]float64{-1}); err == nil {
+		t.Error("expected error for negative rate")
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	rows, err := SizeSweep([]int{4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Voluntary participation at every size.
+		if r.MinUtility < 0 {
+			t.Errorf("n=%d: min utility %v negative", r.N, r.MinUtility)
+		}
+		// Frugality stays in a sane band.
+		if r.Frugality < 1 || r.Frugality > 5 {
+			t.Errorf("n=%d: frugality %v out of band", r.N, r.Frugality)
+		}
+	}
+	// The n=16 row matches the paper configuration's ratio order of
+	// magnitude.
+	if math.Abs(rows[1].Frugality-2.42) > 0.2 {
+		t.Errorf("n=16 frugality = %v, expected ~2.42", rows[1].Frugality)
+	}
+	if _, err := SizeSweep([]int{1}); err == nil {
+		t.Error("expected error for n=1")
+	}
+}
+
+func TestEstimatorConvergenceImproves(t *testing.T) {
+	rows, err := EstimatorConvergence([]int{2000, 50000}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].MaxEstErr >= rows[0].MaxEstErr {
+		t.Errorf("estimation error did not shrink: %v -> %v",
+			rows[0].MaxEstErr, rows[1].MaxEstErr)
+	}
+	if rows[1].MaxEstErr > 0.1 {
+		t.Errorf("estimate error at 50k jobs = %v, want < 0.1", rows[1].MaxEstErr)
+	}
+	if rows[1].FalseFlags != 0 {
+		t.Errorf("%d false flags at 50k jobs", rows[1].FalseFlags)
+	}
+}
+
+func TestDeviationSurfaceNonPositiveGains(t *testing.T) {
+	rows, err := DeviationSurface(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 32 {
+		t.Fatalf("rows = %d, want 8*4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Loss < -1e-9 {
+			t.Errorf("profitable deviation at bid %v exec %v: loss %v",
+				r.BidFactor, r.ExecFactor, r.Loss)
+		}
+		// The truthful cell has zero loss.
+		if r.BidFactor == 1 && r.ExecFactor == 1 && math.Abs(r.Loss) > 1e-9 {
+			t.Errorf("truthful cell loss %v", r.Loss)
+		}
+	}
+}
+
+func TestExtendedArtifactsRender(t *testing.T) {
+	for _, a := range ExtendedArtifacts() {
+		tab, err := a.Table()
+		if err != nil {
+			t.Errorf("%s: %v", a.ID, err)
+			continue
+		}
+		if tab.Rows() == 0 {
+			t.Errorf("%s empty", a.ID)
+		}
+		if a.Line != nil {
+			lc, err := a.Line()
+			if err != nil {
+				t.Errorf("%s line: %v", a.ID, err)
+				continue
+			}
+			var buf bytes.Buffer
+			if err := lc.WriteSVG(&buf); err != nil {
+				t.Errorf("%s line svg: %v", a.ID, err)
+			}
+		}
+	}
+}

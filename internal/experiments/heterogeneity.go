@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/game"
+	"repro/internal/mech"
+	"repro/internal/parallel"
+	"repro/internal/report"
+)
+
+// HeterogeneityRow is one point of the speed-spread sweep.
+type HeterogeneityRow struct {
+	// Spread is the ratio t_max/t_min of the configuration.
+	Spread float64
+	// OptLatency is the truthful optimum.
+	OptLatency float64
+	// Frugality is the payment/valuation ratio.
+	Frugality float64
+	// FastShare is the fraction of load carried by the fastest
+	// computer.
+	FastShare float64
+	// UtilitySpread is the ratio of the largest to the smallest
+	// truthful utility.
+	UtilitySpread float64
+}
+
+// HeterogeneitySweep evaluates 8-computer systems whose speeds form a
+// geometric ladder from 1 to the given spread, at a fixed rate chosen
+// so total work per computer stays comparable. It probes how speed
+// diversity shapes the payment structure: more heterogeneous systems
+// concentrate both load and bonus on the fast computers.
+func HeterogeneitySweep(spreads []float64) ([]HeterogeneityRow, error) {
+	if len(spreads) == 0 {
+		spreads = []float64{1, 2, 4, 10, 25, 100}
+	}
+	const n = 8
+	const rate = 10.0
+	m := mech.CompensationBonus{}
+	var rows []HeterogeneityRow
+	for _, spread := range spreads {
+		if spread < 1 {
+			return nil, fmt.Errorf("experiments: invalid spread %g", spread)
+		}
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = math.Pow(spread, float64(i)/float64(n-1))
+		}
+		o, err := m.Run(mech.Truthful(ts), rate)
+		if err != nil {
+			return nil, err
+		}
+		row := HeterogeneityRow{
+			Spread:     spread,
+			OptLatency: o.RealLatency,
+			Frugality:  o.FrugalityRatio(),
+			FastShare:  o.Alloc[0] / rate,
+		}
+		minU, maxU := math.Inf(1), math.Inf(-1)
+		for _, u := range o.Utility {
+			if u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+		}
+		if minU > 0 {
+			row.UtilitySpread = maxU / minU
+		} else {
+			row.UtilitySpread = math.Inf(1)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CollusionRow is one entry of the pairwise-collusion table.
+type CollusionRow struct {
+	// PairDesc names the colluding pair.
+	PairDesc string
+	// TruthJoint and BestJoint are the combined utilities.
+	TruthJoint, BestJoint float64
+	// Gain is the collusion gain.
+	Gain float64
+}
+
+// CollusionTableData measures pairwise collusion gains on the paper
+// system for representative pairs — the extension experiment behind
+// the "not collusion-proof" finding in DESIGN.md.
+func CollusionTableData() ([]CollusionRow, error) {
+	pairs := []struct {
+		i, j int
+		desc string
+	}{
+		{0, 1, "C1+C2 (both t=1)"},
+		{0, 2, "C1+C3 (t=1, t=2)"},
+		{0, 5, "C1+C6 (t=1, t=5)"},
+		{0, 15, "C1+C16 (t=1, t=10)"},
+		{5, 6, "C6+C7 (both t=5)"},
+		{10, 11, "C11+C12 (both t=10)"},
+	}
+	rows, err := parallel.MapErr(len(pairs), 0, func(k int) (CollusionRow, error) {
+		p := pairs[k]
+		rep, err := game.Collusion(mech.CompensationBonus{}, PaperTrueValues(), PaperRate,
+			p.i, p.j, game.DefaultGrid())
+		if err != nil {
+			return CollusionRow{}, err
+		}
+		return CollusionRow{
+			PairDesc:   p.desc,
+			TruthJoint: rep.TruthJointUtility,
+			BestJoint:  rep.BestJointUtility,
+			Gain:       rep.Gain,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PoARow is one entry of the price-of-anarchy table.
+type PoARow struct {
+	// System describes the configuration.
+	System string
+	// OptLatency and NashLatency compare coordination vs anarchy.
+	OptLatency, NashLatency float64
+	// PoA is their ratio.
+	PoA float64
+}
+
+// PoATableData computes the price of anarchy of the unpriced bidding
+// game for several configurations — quantifying the "performance
+// degradation" the paper's introduction warns about, as an efficiency
+// ratio rather than single scenarios.
+func PoATableData() ([]PoARow, error) {
+	systems := []struct {
+		name string
+		ts   []float64
+	}{
+		{"paper 16-computer system", PaperTrueValues()},
+		{"homogeneous x8 (t=2)", []float64{2, 2, 2, 2, 2, 2, 2, 2}},
+		{"mild ladder {1,2,3,4}", []float64{1, 2, 3, 4}},
+		{"extreme pair {1,100}", []float64{1, 100}},
+	}
+	var rows []PoARow
+	for _, s := range systems {
+		capBid := 0.0
+		for _, t := range s.ts {
+			if t > capBid {
+				capBid = t
+			}
+		}
+		rep, err := game.PriceOfAnarchy(s.ts, 2*float64(len(s.ts)), 10*capBid)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PoARow{
+			System:      s.name,
+			OptLatency:  rep.OptLatency,
+			NashLatency: rep.NashLatency,
+			PoA:         rep.PoA,
+		})
+	}
+	return rows, nil
+}
+
+func poaTable() (*report.Table, error) {
+	rows, err := PoATableData()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Price of anarchy of the unpriced bidding game (bid cap = 10*t_max).",
+		"System", "Optimal L", "Nash L", "PoA")
+	for _, r := range rows {
+		t.AddFloats(r.System, r.OptLatency, r.NashLatency, r.PoA)
+	}
+	return t, nil
+}
+
+func heterogeneityTable() (*report.Table, error) {
+	rows, err := HeterogeneitySweep(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Heterogeneity sweep (8 computers, geometric speed ladder, R=10).",
+		"Spread (tmax/tmin)", "Optimal L", "Frugality", "Fastest share", "Utility spread")
+	for _, r := range rows {
+		t.AddFloats(report.FormatFloat(r.Spread), r.OptLatency, r.Frugality,
+			r.FastShare, r.UtilitySpread)
+	}
+	return t, nil
+}
+
+func collusionTable() (*report.Table, error) {
+	rows, err := CollusionTableData()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Pairwise collusion gains under the verification mechanism (paper system).",
+		"Pair", "Truthful joint U", "Best joint U", "Collusion gain")
+	for _, r := range rows {
+		t.AddFloats(r.PairDesc, r.TruthJoint, r.BestJoint, r.Gain)
+	}
+	return t, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeterogeneitySweepShapes(t *testing.T) {
+	rows, err := HeterogeneitySweep([]float64{1, 4, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Homogeneous system: even shares, equal utilities.
+	if math.Abs(rows[0].FastShare-1.0/8) > 1e-9 {
+		t.Errorf("homogeneous fast share = %v, want 1/8", rows[0].FastShare)
+	}
+	if math.Abs(rows[0].UtilitySpread-1) > 1e-9 {
+		t.Errorf("homogeneous utility spread = %v, want 1", rows[0].UtilitySpread)
+	}
+	// More heterogeneity concentrates load on the fastest computer and
+	// spreads utilities.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FastShare <= rows[i-1].FastShare {
+			t.Errorf("fast share did not grow with spread: %v", rows)
+		}
+		if rows[i].UtilitySpread <= rows[i-1].UtilitySpread {
+			t.Errorf("utility spread did not grow with spread: %v", rows)
+		}
+	}
+	// The ladder anchors the fastest computer at t=1 and stretches the
+	// tail slower as the spread grows, so total latency rises.
+	if rows[2].OptLatency <= rows[0].OptLatency {
+		t.Errorf("latency should rise as the tail gets slower: %v vs %v",
+			rows[2].OptLatency, rows[0].OptLatency)
+	}
+}
+
+func TestHeterogeneitySweepValidation(t *testing.T) {
+	if _, err := HeterogeneitySweep([]float64{0.5}); err == nil {
+		t.Error("expected error for spread < 1")
+	}
+}
+
+func TestPoATableData(t *testing.T) {
+	rows, err := PoATableData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]PoARow{}
+	for _, r := range rows {
+		if r.PoA < 1-1e-9 {
+			t.Errorf("%s: PoA %v below 1", r.System, r.PoA)
+		}
+		byName[r.System] = r
+	}
+	if math.Abs(byName["homogeneous x8 (t=2)"].PoA-1) > 0.01 {
+		t.Errorf("homogeneous PoA = %v", byName["homogeneous x8 (t=2)"].PoA)
+	}
+	// The extreme pair has PoA = (1+100)(1+0.01)/4 = 25.5.
+	if math.Abs(byName["extreme pair {1,100}"].PoA-25.5) > 0.5 {
+		t.Errorf("extreme pair PoA = %v, want ~25.5", byName["extreme pair {1,100}"].PoA)
+	}
+}
+
+func TestShapleyTableData(t *testing.T) {
+	rows, err := ShapleyTableData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var shareSum float64
+	for _, r := range rows {
+		shareSum += r.Shapley
+		if r.Bonus <= 0 {
+			t.Errorf("%s: bonus %v not positive", r.Computer, r.Bonus)
+		}
+	}
+	// Efficiency: Shapley shares sum to the optimal latency.
+	if math.Abs(shareSum-OptimalLatency) > 1e-6 {
+		t.Errorf("shares sum to %v, want %v", shareSum, OptimalLatency)
+	}
+	// Identical computers get near-identical shares (MC noise aside).
+	if math.Abs(rows[0].Shapley-rows[1].Shapley) > 0.05*math.Abs(rows[0].Shapley)+0.5 {
+		t.Errorf("t=1 twins got %v and %v", rows[0].Shapley, rows[1].Shapley)
+	}
+}
+
+func TestCollusionTableData(t *testing.T) {
+	rows, err := CollusionTableData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The fast-pair gain is the largest; every gain is nonnegative.
+	for _, r := range rows {
+		if r.Gain < -1e-9 {
+			t.Errorf("%s: negative gain %v", r.PairDesc, r.Gain)
+		}
+		if r.Gain > rows[0].Gain+1e-9 {
+			t.Errorf("%s gain %v exceeds fast-pair gain %v", r.PairDesc, r.Gain, rows[0].Gain)
+		}
+	}
+	if rows[0].Gain < 1 {
+		t.Errorf("fast-pair gain = %v, expected > 1", rows[0].Gain)
+	}
+}

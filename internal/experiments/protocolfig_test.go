@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+func TestProtocolFigure2ShapeSurvivesEstimation(t *testing.T) {
+	rows, err := ProtocolFigure2(60000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ProtocolFigRow{}
+	for _, r := range rows {
+		byName[r.Experiment] = r
+	}
+	// The paper's qualitative shape with estimated values:
+	// truth pays best...
+	for name, r := range byName {
+		if name != "True1" && r.MeasuredUtility >= byName["True1"].MeasuredUtility {
+			t.Errorf("%s measured utility %v not below True1 %v",
+				name, r.MeasuredUtility, byName["True1"].MeasuredUtility)
+		}
+	}
+	// ... Low2's payment and utility stay negative ...
+	if byName["Low2"].MeasuredPayment >= 0 || byName["Low2"].MeasuredUtility >= 0 {
+		t.Errorf("Low2 measured payment/utility = %v/%v, want negative",
+			byName["Low2"].MeasuredPayment, byName["Low2"].MeasuredUtility)
+	}
+	// ... and estimation errors stay moderate.
+	for name, r := range byName {
+		if r.PaymentRelErr > 0.2 {
+			t.Errorf("%s payment rel err %v too large", name, r.PaymentRelErr)
+		}
+	}
+	// Verification flags exactly the slow executors (True2, High1,
+	// High3 relative to bid? — flags fire when estimate exceeds the
+	// *bid* by the margin: True2 (exec 2 vs bid 1), High4 (4 vs 3),
+	// Low2 (2 vs 0.5) and Low1 (1 vs 0.5) qualify; High1 executes at
+	// its bid and High2/High3 run at or below it).
+	wantFlag := map[string]bool{
+		"True1": false, "True2": true, "High1": false, "High2": false,
+		"High3": false, "High4": true, "Low1": true, "Low2": true,
+	}
+	for name, want := range wantFlag {
+		if byName[name].Flagged != want {
+			t.Errorf("%s flagged = %v, want %v", name, byName[name].Flagged, want)
+		}
+	}
+	// True1 is not flagged and its payment tracks the oracle tightly.
+	if byName["True1"].PaymentRelErr > 0.05 {
+		t.Errorf("True1 payment rel err %v", byName["True1"].PaymentRelErr)
+	}
+}

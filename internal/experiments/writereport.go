@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteReport regenerates every artifact — the paper's tables and
+// figures, the DES cross-check, the extension experiments and the
+// claim checklist — and writes them under dir as .txt, .csv and (where
+// a chart exists) .svg files. It returns the list of files written.
+func WriteReport(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	save := func(name string, write func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: writing %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	all := append(Artifacts(), ExtendedArtifacts()...)
+	for _, a := range all {
+		tab, err := a.Table()
+		if err != nil {
+			return written, fmt.Errorf("experiments: %s: %w", a.ID, err)
+		}
+		if err := save(a.ID+".txt", func(f io.Writer) error {
+			tab.Render(f)
+			return nil
+		}); err != nil {
+			return written, err
+		}
+		if err := save(a.ID+".csv", tab.WriteCSV); err != nil {
+			return written, err
+		}
+		if a.Chart != nil {
+			ch, err := a.Chart()
+			if err != nil {
+				return written, fmt.Errorf("experiments: %s chart: %w", a.ID, err)
+			}
+			if err := save(a.ID+".svg", ch.WriteSVG); err != nil {
+				return written, err
+			}
+		}
+		if a.Line != nil {
+			lc, err := a.Line()
+			if err != nil {
+				return written, fmt.Errorf("experiments: %s line: %w", a.ID, err)
+			}
+			if err := save(a.ID+"-line.svg", lc.WriteSVG); err != nil {
+				return written, err
+			}
+		}
+		if a.Heat != nil {
+			hm, err := a.Heat()
+			if err != nil {
+				return written, fmt.Errorf("experiments: %s heat: %w", a.ID, err)
+			}
+			if err := save(a.ID+"-heat.svg", hm.WriteSVG); err != nil {
+				return written, err
+			}
+		}
+	}
+
+	checksTab, err := ChecksTable()
+	if err != nil {
+		return written, err
+	}
+	if err := save("checks.txt", func(f io.Writer) error {
+		checksTab.Render(f)
+		return nil
+	}); err != nil {
+		return written, err
+	}
+	if err := save("checks.csv", checksTab.WriteCSV); err != nil {
+		return written, err
+	}
+	return written, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes the full report; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	files, err := WriteReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every paper and extension artifact has a .txt and a .csv; fig1-6
+	// have .svg; ext-rate/-estimator have line SVGs; ext-surface a
+	// heatmap SVG; plus the checks pair.
+	byName := map[string]bool{}
+	for _, f := range files {
+		byName[filepath.Base(f)] = true
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+	for _, want := range []string{
+		"table1.txt", "table2.csv", "fig1.svg", "fig6.csv",
+		"des.txt", "ext-rate-line.svg", "ext-surface-heat.svg",
+		"ext-collusion.txt", "ext-poa.csv", "checks.txt",
+	} {
+		if !byName[want] {
+			t.Errorf("report missing %s (have %d files)", want, len(files))
+		}
+	}
+	// The checks file records a full pass.
+	data, err := os.ReadFile(filepath.Join(dir, "checks.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "FAIL") {
+		t.Errorf("checks report contains failures:\n%s", data)
+	}
+}

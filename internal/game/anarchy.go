@@ -1,0 +1,102 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+)
+
+// AnarchyReport quantifies the inefficiency of the *unpriced* bidding
+// game that motivates the paper: with classical allocation and no
+// payments, every computer's dominant direction is to overbid (shed
+// work), so in equilibrium all bids sit at the declaration cap and
+// the allocation degenerates to the uniform split.
+type AnarchyReport struct {
+	// OptLatency is the total latency under truthful coordination.
+	OptLatency float64
+	// NashLatency is the total latency at the (cap-saturated) Nash
+	// equilibrium of the unpriced game.
+	NashLatency float64
+	// PoA is NashLatency / OptLatency >= 1.
+	PoA float64
+	// NashBids is the equilibrium bid profile found by best-response
+	// iteration.
+	NashBids []float64
+}
+
+// PriceOfAnarchy computes the equilibrium of the unpriced bidding
+// game on the bid space [t_i, cap] by continuous best-response
+// iteration, and compares its latency to the optimum.
+//
+// In the unpriced game each agent's utility -t_i*x_i(b) strictly
+// increases in its own bid, so the unique equilibrium is b_i = cap for
+// all i; the allocation is then uniform and the closed-form price of
+// anarchy is
+//
+//	PoA = sum(t_i) * sum(1/t_i) / n^2,
+//
+// which is 1 for homogeneous systems and grows with heterogeneity (by
+// Cauchy-Schwarz it is always >= 1). The function verifies the
+// best-response dynamics actually land there rather than assuming it.
+func PriceOfAnarchy(ts []float64, rate, cap float64) (*AnarchyReport, error) {
+	n := len(ts)
+	if n < 2 {
+		return nil, mech.ErrNeedTwoAgents
+	}
+	for i, t := range ts {
+		if t <= 0 {
+			return nil, fmt.Errorf("game: invalid true value ts[%d] = %g", i, t)
+		}
+		if cap < t {
+			return nil, fmt.Errorf("game: cap %g below true value ts[%d] = %g", cap, i, t)
+		}
+	}
+	model := mech.LinearModel{}
+	opt, err := model.OptimalTotal(ts, rate)
+	if err != nil {
+		return nil, err
+	}
+
+	// Best-response iteration on the continuous bid space.
+	agents := mech.Truthful(ts)
+	m := mech.Classical{}
+	for round := 0; round < 30; round++ {
+		moved := false
+		for i := range agents {
+			best, _, err := ContinuousBestResponse(m, agents, rate, i, ts[i], cap)
+			if err != nil {
+				return nil, err
+			}
+			if math.Abs(best-agents[i].Bid) > 1e-6*cap {
+				moved = true
+			}
+			agents[i].Bid = best
+		}
+		if !moved {
+			break
+		}
+	}
+	bids := mech.Bids(agents)
+	x, err := model.Alloc(bids, rate)
+	if err != nil {
+		return nil, err
+	}
+	nashL := numeric.SumFunc(n, func(i int) float64 { return ts[i] * x[i] * x[i] })
+	return &AnarchyReport{
+		OptLatency:  opt,
+		NashLatency: nashL,
+		PoA:         nashL / opt,
+		NashBids:    bids,
+	}, nil
+}
+
+// ClosedFormPoA returns the analytic price of anarchy of the
+// cap-saturated equilibrium: sum(t)*sum(1/t)/n^2.
+func ClosedFormPoA(ts []float64) float64 {
+	n := float64(len(ts))
+	sumT := numeric.Sum(ts)
+	sumInv := numeric.SumFunc(len(ts), func(i int) float64 { return 1 / ts[i] })
+	return sumT * sumInv / (n * n)
+}

@@ -1,0 +1,82 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestPriceOfAnarchyPaperSystem(t *testing.T) {
+	rep, err := PriceOfAnarchy(paperTs(), rate, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: sum(t)=93, sum(1/t)=5.1, n^2=256.
+	want := 93.0 * 5.1 / 256
+	if math.Abs(rep.PoA-want) > 0.01 {
+		t.Errorf("PoA = %v, closed form %v", rep.PoA, want)
+	}
+	if rep.PoA < 1 {
+		t.Errorf("PoA = %v < 1", rep.PoA)
+	}
+	// Equilibrium bids saturate at the cap (within the BR tolerance).
+	for i, b := range rep.NashBids {
+		if b < 95 {
+			t.Errorf("bid %d = %v, expected ~cap 100", i, b)
+		}
+	}
+	if got := ClosedFormPoA(paperTs()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ClosedFormPoA = %v, want %v", got, want)
+	}
+}
+
+func TestPriceOfAnarchyHomogeneous(t *testing.T) {
+	rep, err := PriceOfAnarchy([]float64{2, 2, 2, 2}, 8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Homogeneous systems lose nothing to anarchy: the uniform split
+	// is the optimum.
+	if math.Abs(rep.PoA-1) > 0.01 {
+		t.Errorf("homogeneous PoA = %v, want 1", rep.PoA)
+	}
+}
+
+// Property: the closed-form PoA is always >= 1 (Cauchy-Schwarz) and
+// grows when one computer slows down.
+func TestClosedFormPoAProperties(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		n := 2 + r.Intn(8)
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = 0.2 + 10*r.Float64()
+		}
+		poa := ClosedFormPoA(ts)
+		if poa < 1-1e-12 {
+			return false
+		}
+		// Stretch the slowest computer further: heterogeneity (and
+		// PoA) increases.
+		slowest := numeric.ArgMax(ts)
+		ts[slowest] *= 3
+		return ClosedFormPoA(ts) >= poa-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriceOfAnarchyValidation(t *testing.T) {
+	if _, err := PriceOfAnarchy([]float64{1}, 5, 10); err == nil {
+		t.Error("expected error for single agent")
+	}
+	if _, err := PriceOfAnarchy([]float64{1, -2}, 5, 10); err == nil {
+		t.Error("expected error for invalid value")
+	}
+	if _, err := PriceOfAnarchy([]float64{1, 5}, 5, 3); err == nil {
+		t.Error("expected error for cap below a true value")
+	}
+}

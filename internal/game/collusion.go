@@ -1,0 +1,97 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mech"
+	"repro/internal/parallel"
+)
+
+// CollusionReport is the outcome of a pairwise collusion search.
+type CollusionReport struct {
+	// Agents are the indices of the colluding pair.
+	Agents [2]int
+	// TruthJointUtility is the pair's combined utility under joint
+	// truth-telling.
+	TruthJointUtility float64
+	// BestJointUtility is the best combined utility over the joint
+	// deviation grid (side payments inside the coalition make the sum
+	// the right objective).
+	BestJointUtility float64
+	// BestFactors are the (bid, exec) factors of each colluder at the
+	// optimum.
+	BestFactors [2][2]float64
+	// Gain is Best - Truth; positive means the mechanism is not
+	// collusion-proof for this pair on the grid.
+	Gain float64
+}
+
+// Collusion searches joint deviations of agents i and j (holding
+// everyone else truthful) for a combined-utility gain. Truthful
+// mechanisms need not be collusion-proof: a coalition can sacrifice
+// one member's utility to inflate the other's and split the surplus
+// via side payments, which is why the combined utility is the
+// objective.
+func Collusion(m mech.Mechanism, ts []float64, rate float64, i, j int, grid Grid) (*CollusionReport, error) {
+	if i == j || i < 0 || j < 0 || i >= len(ts) || j >= len(ts) {
+		return nil, fmt.Errorf("game: invalid colluding pair (%d, %d)", i, j)
+	}
+	agents := mech.Truthful(ts)
+	truthO, err := m.Run(agents, rate)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CollusionReport{
+		Agents:            [2]int{i, j},
+		TruthJointUtility: truthO.Utility[i] + truthO.Utility[j],
+		BestJointUtility:  truthO.Utility[i] + truthO.Utility[j],
+		BestFactors:       [2][2]float64{{1, 1}, {1, 1}},
+	}
+	// The grid is embarrassingly parallel: fan out over agent i's bid
+	// factor, each worker scanning the remaining three dimensions on
+	// its own copy of the population, then reduce the per-slice bests.
+	type best struct {
+		joint   float64
+		factors [2][2]float64
+	}
+	bests := parallel.Map(len(grid.BidFactors), 0, func(bi int) best {
+		bfi := grid.BidFactors[bi]
+		local := best{joint: math.Inf(-1)}
+		pop := append([]mech.Agent(nil), agents...)
+		for _, efi := range grid.ExecFactors {
+			if efi < 1 {
+				continue
+			}
+			for _, bfj := range grid.BidFactors {
+				for _, efj := range grid.ExecFactors {
+					if efj < 1 {
+						continue
+					}
+					pop[i].Bid = bfi * pop[i].True
+					pop[i].Exec = efi * pop[i].True
+					pop[j].Bid = bfj * pop[j].True
+					pop[j].Exec = efj * pop[j].True
+					o, err := m.Run(pop, rate)
+					if err != nil {
+						continue
+					}
+					joint := o.Utility[i] + o.Utility[j]
+					if joint > local.joint {
+						local.joint = joint
+						local.factors = [2][2]float64{{bfi, efi}, {bfj, efj}}
+					}
+				}
+			}
+		}
+		return local
+	})
+	for _, b := range bests {
+		if b.joint > rep.BestJointUtility {
+			rep.BestJointUtility = b.joint
+			rep.BestFactors = b.factors
+		}
+	}
+	rep.Gain = rep.BestJointUtility - rep.TruthJointUtility
+	return rep, nil
+}

@@ -1,0 +1,61 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/mech"
+)
+
+func TestVerificationMechanismNotCollusionProof(t *testing.T) {
+	// Truthfulness is a *unilateral* guarantee. A coalition of the two
+	// fast computers gains by jointly overbidding: each member's
+	// inflated bid raises the other's exclusion optimum L_{-i} and
+	// hence its bonus. This is the classic VCG-family collusion
+	// weakness, and the verification step does not repair it (the
+	// colluders execute at full capacity, so there is nothing to
+	// catch). DESIGN.md documents the finding.
+	rep, err := Collusion(mech.CompensationBonus{}, paperTs(), rate, 0, 1, DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gain <= 0.1 {
+		t.Errorf("expected a clear collusion gain for the fast pair, got %v", rep.Gain)
+	}
+	// The profitable joint play overbids with full-capacity execution:
+	// slowing down would only be punished by verification.
+	for k := 0; k < 2; k++ {
+		if rep.BestFactors[k][0] <= 1 {
+			t.Errorf("colluder %d best bid factor %v, expected overbid", k, rep.BestFactors[k][0])
+		}
+		if rep.BestFactors[k][1] != 1 {
+			t.Errorf("colluder %d best exec factor %v, expected 1", k, rep.BestFactors[k][1])
+		}
+	}
+}
+
+func TestCollusionGainShrinksWithDistance(t *testing.T) {
+	// The gain comes from shifting each other's exclusion terms, which
+	// is strongest between computers of comparable speed: the fast
+	// pair gains far more than a fast computer colluding with the
+	// slowest one.
+	fastPair, err := Collusion(mech.CompensationBonus{}, paperTs(), rate, 0, 1, DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastSlow, err := Collusion(mech.CompensationBonus{}, paperTs(), rate, 0, 15, DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastPair.Gain <= fastSlow.Gain {
+		t.Errorf("fast-pair gain %v should exceed fast-slow gain %v",
+			fastPair.Gain, fastSlow.Gain)
+	}
+}
+
+func TestCollusionValidation(t *testing.T) {
+	for _, pair := range [][2]int{{0, 0}, {-1, 1}, {0, 99}} {
+		if _, err := Collusion(mech.CompensationBonus{}, paperTs(), rate, pair[0], pair[1], DefaultGrid()); err == nil {
+			t.Errorf("pair %v accepted", pair)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+)
+
+// ContinuousBestResponse maximizes agent i's utility over a continuous
+// bid interval [lo, hi] (execution at capacity) by golden-section
+// search, refined over a coarse bracketing grid so that non-unimodal
+// utility curves are handled. It returns the maximizing bid and the
+// utility it attains.
+func ContinuousBestResponse(m mech.Mechanism, agents []mech.Agent, rate float64, i int, lo, hi float64) (bestBid, bestU float64, err error) {
+	if i < 0 || i >= len(agents) {
+		return 0, 0, fmt.Errorf("game: agent index %d out of range", i)
+	}
+	if lo <= 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("game: invalid bid interval [%g, %g]", lo, hi)
+	}
+	pop := append([]mech.Agent(nil), agents...)
+	pop[i].Exec = pop[i].True
+	utility := func(b float64) float64 {
+		pop[i].Bid = b
+		o, err := m.Run(pop, rate)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return o.Utility[i]
+	}
+	// Coarse scan to bracket the global maximum, then a golden-section
+	// polish inside the best bracket.
+	const coarse = 24
+	bestBid, bestU = lo, utility(lo)
+	grid := make([]float64, coarse+1)
+	for k := 0; k <= coarse; k++ {
+		// Geometric spacing suits the multiplicative nature of bids.
+		grid[k] = lo * math.Pow(hi/lo, float64(k)/coarse)
+		if u := utility(grid[k]); u > bestU {
+			bestBid, bestU = grid[k], u
+		}
+	}
+	// Refine around the best coarse point.
+	var a, b float64
+	switch {
+	case bestBid <= grid[0]:
+		a, b = grid[0], grid[1]
+	case bestBid >= grid[coarse]:
+		a, b = grid[coarse-1], grid[coarse]
+	default:
+		for k := 1; k < coarse; k++ {
+			if grid[k] == bestBid {
+				a, b = grid[k-1], grid[k+1]
+				break
+			}
+		}
+	}
+	x, negU := numeric.GoldenSection(func(b float64) float64 { return -utility(b) }, a, b, 1e-10*(hi-lo))
+	if -negU > bestU {
+		bestBid, bestU = x, -negU
+	}
+	return bestBid, bestU, nil
+}
+
+// IncentiveGap returns how far the mechanism is from truthfulness for
+// agent i on a continuous bid interval: the best-response utility
+// minus the truthful utility (<= 0 means truthful on the interval).
+func IncentiveGap(m mech.Mechanism, agents []mech.Agent, rate float64, i int, lo, hi float64) (gap, bestBid float64, err error) {
+	pop := append([]mech.Agent(nil), agents...)
+	pop[i].Bid, pop[i].Exec = pop[i].True, pop[i].True
+	truthO, err := m.Run(pop, rate)
+	if err != nil {
+		return 0, 0, err
+	}
+	bestBid, bestU, err := ContinuousBestResponse(m, agents, rate, i, lo, hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return bestU - truthO.Utility[i], bestBid, nil
+}

@@ -1,0 +1,74 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mech"
+)
+
+func TestContinuousBestResponseFindsTruth(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	best, bestU, err := ContinuousBestResponse(mech.CompensationBonus{}, agents, rate, 0, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best-1) > 1e-3 {
+		t.Errorf("continuous best response = %v, want the true value 1", best)
+	}
+	// Utility at the optimum equals the truthful utility.
+	truth, err := mech.CompensationBonus{}.Run(agents, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestU > truth.Utility[0]+1e-6 {
+		t.Errorf("best utility %v exceeds truthful %v", bestU, truth.Utility[0])
+	}
+}
+
+func TestContinuousBestResponseClassicalRunsToCeiling(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	best, _, err := ContinuousBestResponse(mech.Classical{}, agents, rate, 0, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under no payments, the higher the bid the less work; the best
+	// response slams into the interval's upper end.
+	if best < 19 {
+		t.Errorf("classical best response = %v, want ~20 (the ceiling)", best)
+	}
+}
+
+func TestIncentiveGapSeparatesMechanisms(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	gap, _, err := IncentiveGap(mech.CompensationBonus{}, agents, rate, 0, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap > 1e-6 {
+		t.Errorf("verification mechanism gap = %v, want <= 0", gap)
+	}
+	gap, bestBid, err := IncentiveGap(mech.BidCompensationBonus{}, agents, rate, 0, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap <= 0 {
+		t.Errorf("no-verification gap = %v, want > 0", gap)
+	}
+	if bestBid >= 1 {
+		t.Errorf("no-verification best bid = %v, expected underbid", bestBid)
+	}
+}
+
+func TestContinuousBestResponseValidation(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	if _, _, err := ContinuousBestResponse(mech.CompensationBonus{}, agents, rate, -1, 0.1, 1); err == nil {
+		t.Error("expected index error")
+	}
+	if _, _, err := ContinuousBestResponse(mech.CompensationBonus{}, agents, rate, 0, 0, 1); err == nil {
+		t.Error("expected interval error")
+	}
+	if _, _, err := ContinuousBestResponse(mech.CompensationBonus{}, agents, rate, 0, 2, 1); err == nil {
+		t.Error("expected inverted interval error")
+	}
+}

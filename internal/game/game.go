@@ -1,0 +1,212 @@
+// Package game provides strategic analysis of load balancing
+// mechanisms: numerical verification of dominant-strategy
+// truthfulness over bid/execution grids, best-response computation,
+// best-response dynamics, and manipulation-gain measurement. It is the
+// empirical counterpart to the paper's Theorems 3.1 and 3.2.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mech"
+	"repro/internal/parallel"
+)
+
+// Deviation is one strategic play by a single agent, expressed as
+// multiplicative factors on its true value.
+type Deviation struct {
+	// BidFactor scales the agent's bid: Bid = BidFactor * True.
+	BidFactor float64
+	// ExecFactor scales the agent's execution value:
+	// Exec = ExecFactor * True. Legal plays have ExecFactor >= 1.
+	ExecFactor float64
+	// Utility is the agent's utility under this play.
+	Utility float64
+}
+
+// Grid specifies the deviation space searched by VerifyTruthfulness.
+type Grid struct {
+	// BidFactors are the multiplicative bid deviations to try.
+	BidFactors []float64
+	// ExecFactors are the multiplicative execution deviations to try;
+	// values below 1 are skipped because a computer cannot execute
+	// faster than its capacity.
+	ExecFactors []float64
+}
+
+// DefaultGrid covers bids from one tenth to ten times the true value
+// and execution slowdowns up to a factor of four.
+func DefaultGrid() Grid {
+	return Grid{
+		BidFactors: []float64{
+			0.1, 0.2, 0.25, 0.33, 0.5, 0.67, 0.75, 0.8, 0.9, 0.95,
+			1, 1.05, 1.1, 1.25, 1.5, 2, 3, 4, 5, 10,
+		},
+		ExecFactors: []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 4},
+	}
+}
+
+// Report is the outcome of a truthfulness grid search for one agent.
+type Report struct {
+	// Agent is the index of the probed agent.
+	Agent int
+	// TruthUtility is the utility of the truthful play (bid = exec =
+	// true value).
+	TruthUtility float64
+	// Best is the highest-utility deviation found (which may be the
+	// truthful play itself).
+	Best Deviation
+	// Epsilon is Best.Utility - TruthUtility: positive means the
+	// mechanism is manipulable on this grid, and <= 0 (up to floating
+	// point) certifies truthfulness on the probed grid.
+	Epsilon float64
+	// Profitable lists every grid deviation that strictly beats the
+	// truthful play by more than tol.
+	Profitable []Deviation
+}
+
+// Truthful reports whether no profitable deviation was found.
+func (r *Report) Truthful() bool { return len(r.Profitable) == 0 }
+
+// VerifyTruthfulness probes agent i of the given population against
+// every deviation in the grid, holding every other agent's play fixed,
+// and reports the best deviation found. tol is the utility slack below
+// which a gain is attributed to floating point noise (1e-9 if zero).
+func VerifyTruthfulness(m mech.Mechanism, agents []mech.Agent, rate float64, i int, grid Grid, tol float64) (*Report, error) {
+	if i < 0 || i >= len(agents) {
+		return nil, fmt.Errorf("game: agent index %d out of range", i)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	pop := append([]mech.Agent(nil), agents...)
+	pop[i].Bid, pop[i].Exec = pop[i].True, pop[i].True
+	truthO, err := m.Run(pop, rate)
+	if err != nil {
+		return nil, fmt.Errorf("game: truthful run: %w", err)
+	}
+	rep := &Report{
+		Agent:        i,
+		TruthUtility: truthO.Utility[i],
+		Best:         Deviation{BidFactor: 1, ExecFactor: 1, Utility: truthO.Utility[i]},
+	}
+	for _, bf := range grid.BidFactors {
+		for _, ef := range grid.ExecFactors {
+			if ef < 1 || bf <= 0 {
+				continue
+			}
+			pop[i].Bid = bf * pop[i].True
+			pop[i].Exec = ef * pop[i].True
+			o, err := m.Run(pop, rate)
+			if err != nil {
+				// Infeasible corner (e.g. M/M/1 exclusion capacity);
+				// skip rather than abort the whole scan.
+				continue
+			}
+			d := Deviation{BidFactor: bf, ExecFactor: ef, Utility: o.Utility[i]}
+			if d.Utility > rep.Best.Utility {
+				rep.Best = d
+			}
+			if d.Utility > rep.TruthUtility+tol {
+				rep.Profitable = append(rep.Profitable, d)
+			}
+		}
+	}
+	rep.Epsilon = rep.Best.Utility - rep.TruthUtility
+	return rep, nil
+}
+
+// BestResponse returns the bid among candidates that maximizes agent
+// i's utility given the other agents' current plays, with agent i
+// executing at its true value. Ties break toward the earlier
+// candidate.
+func BestResponse(m mech.Mechanism, agents []mech.Agent, rate float64, i int, candidates []float64) (bestBid, bestUtility float64, err error) {
+	if i < 0 || i >= len(agents) {
+		return 0, 0, fmt.Errorf("game: agent index %d out of range", i)
+	}
+	if len(candidates) == 0 {
+		return 0, 0, errors.New("game: no candidate bids")
+	}
+	pop := append([]mech.Agent(nil), agents...)
+	pop[i].Exec = pop[i].True
+	bestUtility = math.Inf(-1)
+	any := false
+	for _, b := range candidates {
+		if b <= 0 {
+			continue
+		}
+		pop[i].Bid = b
+		o, err := m.Run(pop, rate)
+		if err != nil {
+			continue
+		}
+		if o.Utility[i] > bestUtility {
+			bestBid, bestUtility = b, o.Utility[i]
+			any = true
+		}
+	}
+	if !any {
+		return 0, 0, errors.New("game: every candidate bid failed")
+	}
+	return bestBid, bestUtility, nil
+}
+
+// Dynamics runs synchronous best-response dynamics: in each round,
+// every agent in turn switches to its best-response bid against the
+// current profile. It returns the bid profile after each round and
+// whether the dynamics reached a fixed point (no agent moved by more
+// than tol) before maxRounds.
+func Dynamics(m mech.Mechanism, agents []mech.Agent, rate float64, candidates []float64, maxRounds int, tol float64) (history [][]float64, converged bool, err error) {
+	if maxRounds <= 0 {
+		maxRounds = 50
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	pop := append([]mech.Agent(nil), agents...)
+	for round := 0; round < maxRounds; round++ {
+		moved := false
+		for i := range pop {
+			// Candidate set always includes the truth and the current
+			// bid so the dynamics can stand still.
+			cands := append([]float64{pop[i].True, pop[i].Bid}, candidates...)
+			best, _, err := BestResponse(m, pop, rate, i, cands)
+			if err != nil {
+				return history, false, err
+			}
+			if math.Abs(best-pop[i].Bid) > tol {
+				moved = true
+			}
+			pop[i].Bid = best
+			pop[i].Exec = pop[i].True
+		}
+		history = append(history, mech.Bids(pop))
+		if !moved {
+			return history, true, nil
+		}
+	}
+	return history, false, nil
+}
+
+// ManipulationGain returns the largest utility gain any single agent
+// can realize over truthful play on the grid — the empirical
+// "incentive gap" of the mechanism. A truthful mechanism has gain <= 0
+// up to floating point. The per-agent scans run in parallel.
+func ManipulationGain(m mech.Mechanism, ts []float64, rate float64, grid Grid) (float64, error) {
+	agents := mech.Truthful(ts)
+	reports, err := parallel.MapErr(len(agents), 0, func(i int) (*Report, error) {
+		return VerifyTruthfulness(m, agents, rate, i, grid, 0)
+	})
+	if err != nil {
+		return 0, err
+	}
+	gain := math.Inf(-1)
+	for _, rep := range reports {
+		if rep.Epsilon > gain {
+			gain = rep.Epsilon
+		}
+	}
+	return gain, nil
+}

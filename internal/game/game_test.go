@@ -1,0 +1,202 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+)
+
+func paperTs() []float64 {
+	return []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10}
+}
+
+const rate = 20.0
+
+func TestVerifyTruthfulnessPaperMechanism(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	for _, i := range []int{0, 2, 5, 15} {
+		rep, err := VerifyTruthfulness(mech.CompensationBonus{}, agents, rate, i, DefaultGrid(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Truthful() {
+			t.Errorf("agent %d: found %d profitable deviations, best %+v",
+				i, len(rep.Profitable), rep.Best)
+		}
+		if rep.Epsilon > 1e-9 {
+			t.Errorf("agent %d: epsilon = %v, want <= 0", i, rep.Epsilon)
+		}
+	}
+}
+
+func TestVerifyTruthfulnessAgainstLyingOpponents(t *testing.T) {
+	// Dominant strategy means truth is best even when others lie.
+	agents := mech.Truthful(paperTs())
+	agents[1].Bid = 5   // C2 lies high
+	agents[1].Exec = 3  // and executes slow
+	agents[3].Bid = 0.7 // C4 lies low
+	rep, err := VerifyTruthfulness(mech.CompensationBonus{}, agents, rate, 0, DefaultGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truthful() {
+		t.Errorf("truth not dominant vs liars: best %+v", rep.Best)
+	}
+}
+
+func TestVerifyTruthfulnessDetectsManipulableMechanism(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	rep, err := VerifyTruthfulness(mech.BidCompensationBonus{}, agents, rate, 0, DefaultGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truthful() {
+		t.Fatal("grid search failed to find the known manipulation of the no-verification mechanism")
+	}
+	if rep.Epsilon <= 0 {
+		t.Errorf("epsilon = %v, want > 0", rep.Epsilon)
+	}
+	// The known profitable direction is underbidding at full speed.
+	if rep.Best.BidFactor >= 1 {
+		t.Errorf("best deviation %+v, expected underbid", rep.Best)
+	}
+	if rep.Best.ExecFactor != 1 {
+		t.Errorf("best deviation %+v, expected full-capacity execution", rep.Best)
+	}
+}
+
+func TestVerifyTruthfulnessClassicalManipulable(t *testing.T) {
+	rep, err := VerifyTruthfulness(mech.Classical{}, mech.Truthful(paperTs()), rate, 0, DefaultGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truthful() {
+		t.Fatal("classical allocation should be manipulable")
+	}
+	// Overbidding sheds work and raises a selfish agent's utility.
+	if rep.Best.BidFactor <= 1 {
+		t.Errorf("best deviation %+v, expected overbid", rep.Best)
+	}
+}
+
+func TestVerifyTruthfulnessBadIndex(t *testing.T) {
+	if _, err := VerifyTruthfulness(mech.CompensationBonus{}, mech.Truthful(paperTs()), rate, 99, DefaultGrid(), 0); err == nil {
+		t.Error("expected error for out-of-range index")
+	}
+}
+
+func TestBestResponseFindsTruthForTruthfulMechanism(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	cands := []float64{0.25, 0.5, 1, 2, 3, 4}
+	best, _, err := BestResponse(mech.CompensationBonus{}, agents, rate, 0, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 { // agent 0's true value
+		t.Errorf("best response = %v, want the true value 1", best)
+	}
+}
+
+func TestBestResponseErrors(t *testing.T) {
+	agents := mech.Truthful(paperTs())
+	if _, _, err := BestResponse(mech.CompensationBonus{}, agents, rate, -1, []float64{1}); err == nil {
+		t.Error("expected error for bad index")
+	}
+	if _, _, err := BestResponse(mech.CompensationBonus{}, agents, rate, 0, nil); err == nil {
+		t.Error("expected error for empty candidates")
+	}
+	if _, _, err := BestResponse(mech.CompensationBonus{}, agents, rate, 0, []float64{-1, 0}); err == nil {
+		t.Error("expected error when all candidates invalid")
+	}
+}
+
+func TestDynamicsConvergeToTruthUnderVerification(t *testing.T) {
+	// Start everyone at a lie; best-response dynamics under the
+	// truthful mechanism must return every bid to the true value in
+	// one round (dominant strategy) and stay there.
+	ts := []float64{1, 2, 4, 8}
+	agents := mech.Truthful(ts)
+	for i := range agents {
+		agents[i].Bid = ts[i] * 2.5
+	}
+	cands := []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 8, 10, 16, 20}
+	history, converged, err := Dynamics(mech.CompensationBonus{}, agents, 6, cands, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged {
+		t.Fatal("dynamics did not converge")
+	}
+	final := history[len(history)-1]
+	for i, b := range final {
+		if !numeric.AlmostEqual(b, ts[i], 1e-9, 1e-12) {
+			t.Errorf("agent %d final bid %v, want true value %v", i, b, ts[i])
+		}
+	}
+}
+
+func TestDynamicsDivergeFromTruthUnderClassical(t *testing.T) {
+	// Under the obedient/classical scheme agents drift away from the
+	// truth (overbidding sheds work): the fixed point, if reached, is
+	// not truthful.
+	ts := []float64{1, 2, 4, 8}
+	agents := mech.Truthful(ts)
+	cands := []float64{1, 2, 4, 8, 16, 32, 64}
+	history, _, err := Dynamics(mech.Classical{}, agents, 6, cands, 8, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := history[len(history)-1]
+	truthful := true
+	for i, b := range final {
+		if !numeric.AlmostEqual(b, ts[i], 1e-9, 1e-12) {
+			truthful = false
+		}
+	}
+	if truthful {
+		t.Error("classical dynamics unexpectedly stayed truthful")
+	}
+}
+
+func TestManipulationGainSeparatesMechanisms(t *testing.T) {
+	ts := []float64{1, 2, 5}
+	grid := DefaultGrid()
+	truthfulGain, err := ManipulationGain(mech.CompensationBonus{}, ts, 6, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truthfulGain > 1e-9 {
+		t.Errorf("verification mechanism manipulation gain = %v, want <= 0", truthfulGain)
+	}
+	lying, err := ManipulationGain(mech.BidCompensationBonus{}, ts, 6, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lying <= 1e-9 {
+		t.Errorf("no-verification mechanism gain = %v, want > 0", lying)
+	}
+	classical, err := ManipulationGain(mech.Classical{}, ts, 6, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classical <= 1e-9 {
+		t.Errorf("classical gain = %v, want > 0", classical)
+	}
+}
+
+func TestManipulationGainMM1(t *testing.T) {
+	// Verification mechanism stays truthful in the M/M/1 model too.
+	ts := []float64{0.1, 0.2, 0.4}
+	gain, err := ManipulationGain(mech.CompensationBonus{Model: mech.MM1Model{}}, ts, 4, DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain > 1e-7 {
+		t.Errorf("MM1 manipulation gain = %v, want <= 0", gain)
+	}
+	if math.IsInf(gain, -1) {
+		t.Error("gain scan produced no feasible points")
+	}
+}

@@ -1,0 +1,253 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+	"repro/internal/stats"
+)
+
+// Learner is an adaptive bidding policy over a fixed arm set (bid
+// candidates). Implementations are per-agent and stateful.
+type Learner interface {
+	// Choose returns the arm index to play this round.
+	Choose(rng *numeric.Rand) int
+	// Observe feeds back the utilities of the round. played is the
+	// chosen arm; utilities[a] is the utility arm a would have earned
+	// this round (full-information feedback). Bandit learners may use
+	// only utilities[played].
+	Observe(played int, utilities []float64)
+}
+
+// RegretMatching is Hart & Mas-Colell's regret matching with
+// full-information feedback: each arm is played with probability
+// proportional to its positive cumulative regret. Against a
+// dominant-strategy mechanism the truthful arm accumulates all the
+// regret mass and the policy converges to it.
+type RegretMatching struct {
+	regret []float64
+}
+
+// NewRegretMatching creates a learner over the given number of arms.
+func NewRegretMatching(arms int) *RegretMatching {
+	return &RegretMatching{regret: make([]float64, arms)}
+}
+
+// Choose implements Learner.
+func (l *RegretMatching) Choose(rng *numeric.Rand) int {
+	var total float64
+	for _, r := range l.regret {
+		if r > 0 {
+			total += r
+		}
+	}
+	if total <= 0 {
+		return rng.Intn(len(l.regret))
+	}
+	u := rng.Float64() * total
+	for a, r := range l.regret {
+		if r <= 0 {
+			continue
+		}
+		if u < r {
+			return a
+		}
+		u -= r
+	}
+	return len(l.regret) - 1
+}
+
+// Observe implements Learner.
+func (l *RegretMatching) Observe(played int, utilities []float64) {
+	base := utilities[played]
+	for a := range l.regret {
+		l.regret[a] += utilities[a] - base
+	}
+}
+
+// EpsilonGreedy is a bandit learner: it tracks the running mean
+// utility of each arm from its own plays only and exploits the best
+// arm except for a decaying exploration probability.
+type EpsilonGreedy struct {
+	counts []int
+	means  []float64
+	step   int
+	// Epsilon0 is the initial exploration probability (default 0.5);
+	// exploration decays as Epsilon0/step^(1/3). The slow decay
+	// matters: each arm's payoff is noisy (it depends on the other
+	// agents' play that round), and sqrt-decay exploration collects
+	// too few samples per arm to escape a bad early estimate.
+	Epsilon0 float64
+}
+
+// NewEpsilonGreedy creates a bandit learner over the given number of
+// arms.
+func NewEpsilonGreedy(arms int) *EpsilonGreedy {
+	return &EpsilonGreedy{
+		counts:   make([]int, arms),
+		means:    make([]float64, arms),
+		Epsilon0: 0.5,
+	}
+}
+
+// Choose implements Learner.
+func (l *EpsilonGreedy) Choose(rng *numeric.Rand) int {
+	l.step++
+	eps := l.Epsilon0 / math.Cbrt(float64(l.step))
+	if rng.Float64() < eps {
+		return rng.Intn(len(l.counts))
+	}
+	// Prefer unexplored arms, then the best mean.
+	for a, c := range l.counts {
+		if c == 0 {
+			return a
+		}
+	}
+	return numeric.ArgMax(l.means)
+}
+
+// Observe implements Learner. Only the played arm's utility is used.
+func (l *EpsilonGreedy) Observe(played int, utilities []float64) {
+	l.counts[played]++
+	l.means[played] += (utilities[played] - l.means[played]) / float64(l.counts[played])
+}
+
+// LearnConfig drives a repeated-play simulation with adaptive agents.
+type LearnConfig struct {
+	// Mechanism governs each round.
+	Mechanism mech.Mechanism
+	// Trues are the agents' private values.
+	Trues []float64
+	// Rate is the arrival rate per round.
+	Rate float64
+	// BidFactors are the arms: each agent's candidate bids are
+	// factor*true. Must contain 1 (the truthful arm).
+	BidFactors []float64
+	// Rounds is the number of repeated rounds (default 1000).
+	Rounds int
+	// Seed drives all randomness.
+	Seed uint64
+	// NewLearner constructs each agent's policy (default
+	// NewRegretMatching).
+	NewLearner func(arms int) Learner
+}
+
+// LearnResult summarizes a repeated-play simulation.
+type LearnResult struct {
+	// TruthFreq is, per agent, the fraction of the last quarter of
+	// rounds in which the truthful arm was played.
+	TruthFreq []float64
+	// MeanLatency is the average realized total latency over the last
+	// quarter of rounds.
+	MeanLatency float64
+	// OptimalLatency is the truthful optimum for reference.
+	OptimalLatency float64
+	// FinalBids are the bids played in the last round.
+	FinalBids []float64
+}
+
+// Learn runs repeated rounds of the mechanism with every agent
+// adapting its bid via its Learner (execution stays at capacity; the
+// bid channel is where learning dynamics live). Feedback is
+// full-information: after each round every agent learns what each of
+// its arms would have earned against the others' realized bids.
+func Learn(cfg LearnConfig) (*LearnResult, error) {
+	n := len(cfg.Trues)
+	if n < 2 {
+		return nil, errors.New("game: need at least two agents")
+	}
+	if cfg.Mechanism == nil {
+		return nil, errors.New("game: nil mechanism")
+	}
+	truthArm := -1
+	for a, f := range cfg.BidFactors {
+		if f == 1 {
+			truthArm = a
+		}
+		if f <= 0 {
+			return nil, fmt.Errorf("game: invalid bid factor %g", f)
+		}
+	}
+	if truthArm < 0 {
+		return nil, errors.New("game: bid factors must include 1 (the truthful arm)")
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 1000
+	}
+	newLearner := cfg.NewLearner
+	if newLearner == nil {
+		newLearner = func(arms int) Learner { return NewRegretMatching(arms) }
+	}
+
+	rng := numeric.NewRand(cfg.Seed)
+	learners := make([]Learner, n)
+	for i := range learners {
+		learners[i] = newLearner(len(cfg.BidFactors))
+	}
+	agents := mech.Truthful(cfg.Trues)
+	lastQuarter := rounds - rounds/4
+	truthCount := make([]int, n)
+	var latency stats.Summary
+	choices := make([]int, n)
+	utilities := make([]float64, len(cfg.BidFactors))
+
+	for round := 0; round < rounds; round++ {
+		for i := range agents {
+			choices[i] = learners[i].Choose(rng)
+			agents[i].Bid = cfg.BidFactors[choices[i]] * agents[i].True
+			agents[i].Exec = agents[i].True
+		}
+		o, err := cfg.Mechanism.Run(agents, cfg.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("game: round %d: %w", round, err)
+		}
+		if round >= lastQuarter {
+			latency.Add(o.RealLatency)
+			for i, c := range choices {
+				if c == truthArm {
+					truthCount[i]++
+				}
+			}
+		}
+		// Full-information feedback: counterfactual utility of every
+		// arm for every agent against the realized profile.
+		for i := range agents {
+			saved := agents[i].Bid
+			for a, f := range cfg.BidFactors {
+				if a == choices[i] {
+					utilities[a] = o.Utility[i]
+					continue
+				}
+				agents[i].Bid = f * agents[i].True
+				cf, err := cfg.Mechanism.Run(agents, cfg.Rate)
+				if err != nil {
+					return nil, fmt.Errorf("game: counterfactual: %w", err)
+				}
+				utilities[a] = cf.Utility[i]
+			}
+			agents[i].Bid = saved
+			learners[i].Observe(choices[i], utilities)
+		}
+	}
+
+	res := &LearnResult{
+		TruthFreq:   make([]float64, n),
+		MeanLatency: latency.Mean(),
+		FinalBids:   mech.Bids(agents),
+	}
+	denom := float64(rounds - lastQuarter)
+	for i, c := range truthCount {
+		res.TruthFreq[i] = float64(c) / denom
+	}
+	model := mech.LinearModel{}
+	opt, err := model.OptimalTotal(cfg.Trues, cfg.Rate)
+	if err != nil {
+		return nil, err
+	}
+	res.OptimalLatency = opt
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+)
+
+func learnCfg(m mech.Mechanism, rounds int) LearnConfig {
+	return LearnConfig{
+		Mechanism:  m,
+		Trues:      []float64{1, 2, 4, 8},
+		Rate:       6,
+		BidFactors: []float64{0.5, 1, 2, 4},
+		Rounds:     rounds,
+		Seed:       17,
+	}
+}
+
+func TestRegretMatchingLearnsTruthUnderVerification(t *testing.T) {
+	res, err := Learn(learnCfg(mech.CompensationBonus{}, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.TruthFreq {
+		if f < 0.8 {
+			t.Errorf("agent %d truthful only %.0f%% of late rounds", i, 100*f)
+		}
+	}
+	// Late-round latency close to the optimum.
+	if res.MeanLatency > 1.1*res.OptimalLatency {
+		t.Errorf("late latency %v far above optimum %v", res.MeanLatency, res.OptimalLatency)
+	}
+}
+
+func TestRegretMatchingDoesNotLearnTruthUnderClassical(t *testing.T) {
+	res, err := Learn(learnCfg(mech.Classical{}, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under no payments the dominant direction is overbidding: every
+	// learner races to the largest available factor. (Amusingly, when
+	// everyone inflates by the same factor the PR allocation — being
+	// scale-invariant — is optimal again; the damage of classical
+	// allocation shows up whenever lying abilities are asymmetric, as
+	// in the paper's single-deviator experiments. Here we assert the
+	// bids themselves: they carry no information about true speeds.)
+	for i, f := range res.TruthFreq {
+		if f > 0.2 {
+			t.Errorf("agent %d unexpectedly truthful %.0f%% of late rounds under classical", i, 100*f)
+		}
+	}
+	trues := []float64{1, 2, 4, 8}
+	for i, b := range res.FinalBids {
+		if b < 2*trues[i] {
+			t.Errorf("agent %d final bid %v not inflated (true %v)", i, b, trues[i])
+		}
+	}
+}
+
+func TestEpsilonGreedyLearnsTruthUnderVerification(t *testing.T) {
+	cfg := learnCfg(mech.CompensationBonus{}, 1500)
+	cfg.NewLearner = func(arms int) Learner { return NewEpsilonGreedy(arms) }
+	res, err := Learn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandit feedback is noisier than full information; require a
+	// majority of late rounds truthful for every agent.
+	for i, f := range res.TruthFreq {
+		if f < 0.6 {
+			t.Errorf("agent %d truthful only %.0f%% of late rounds", i, 100*f)
+		}
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	cfg := learnCfg(mech.CompensationBonus{}, 10)
+	cfg.Trues = []float64{1}
+	if _, err := Learn(cfg); err == nil {
+		t.Error("expected error for single agent")
+	}
+	cfg = learnCfg(nil, 10)
+	if _, err := Learn(cfg); err == nil {
+		t.Error("expected error for nil mechanism")
+	}
+	cfg = learnCfg(mech.CompensationBonus{}, 10)
+	cfg.BidFactors = []float64{0.5, 2}
+	if _, err := Learn(cfg); err == nil {
+		t.Error("expected error for missing truthful arm")
+	}
+	cfg = learnCfg(mech.CompensationBonus{}, 10)
+	cfg.BidFactors = []float64{-1, 1}
+	if _, err := Learn(cfg); err == nil {
+		t.Error("expected error for negative factor")
+	}
+}
+
+func TestRegretMatchingChooseDistribution(t *testing.T) {
+	l := NewRegretMatching(3)
+	l.regret = []float64{0, 10, 0}
+	rng := numeric.NewRand(1)
+	for i := 0; i < 100; i++ {
+		if a := l.Choose(rng); a != 1 {
+			t.Fatalf("all regret on arm 1 but chose %d", a)
+		}
+	}
+	// No positive regret -> uniform exploration covers all arms.
+	l2 := NewRegretMatching(3)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[l2.Choose(rng)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("uniform exploration visited %d arms", len(seen))
+	}
+}
+
+func TestEpsilonGreedyPrefersUnexploredThenBest(t *testing.T) {
+	// Arm 0 always pays 5, arm 1 always pays 1. With exploration
+	// disabled the learner must try both arms once, then lock onto
+	// arm 0.
+	l := NewEpsilonGreedy(2)
+	l.Epsilon0 = 0
+	rng := numeric.NewRand(2)
+	payoffs := []float64{5, 1}
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		a := l.Choose(rng)
+		seen[a] = true
+		l.Observe(a, payoffs)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("did not explore both arms: %v", seen)
+	}
+	for i := 0; i < 10; i++ {
+		if a := l.Choose(rng); a != 0 {
+			t.Fatalf("greedy choice = %d, want the better arm 0", a)
+		} else {
+			l.Observe(a, payoffs)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mech"
+)
+
+func TestNoisyVerificationPreservesIncentives(t *testing.T) {
+	// With 10% relative estimation noise, truthful full-capacity play
+	// remains optimal in expectation: the estimator is unbiased and
+	// the payment is linear in the estimate. The Monte Carlo tolerance
+	// accounts for sampling error (noise enters C1's own term whose
+	// scale is ~t*x ~ 4, so with 600 samples the MC error is ~0.07).
+	ts := []float64{1, 2, 4, 8}
+	rep, err := NoisyVerificationGain(ts, 6, 0, 0.1, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gain > 0.1 {
+		t.Errorf("noisy verification opened a manipulation: %+v gains %v",
+			rep.BestDeviation, rep.Gain)
+	}
+	// The truthful expected utility matches the noiseless one.
+	exact, err := VerifyTruthfulness(mechCB(), mechTruthful(ts), 6, 0, DefaultGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.TruthExpectedUtility-exact.TruthUtility) > 0.15 {
+		t.Errorf("noisy truthful utility %v vs exact %v",
+			rep.TruthExpectedUtility, exact.TruthUtility)
+	}
+}
+
+func TestNoisyVerificationZeroNoiseMatchesExact(t *testing.T) {
+	ts := []float64{1, 2, 4, 8}
+	rep, err := NoisyVerificationGain(ts, 6, 0, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := VerifyTruthfulness(mechCB(), mechTruthful(ts), 6, 0, DefaultGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.TruthExpectedUtility-exact.TruthUtility) > 1e-9 {
+		t.Errorf("zero-noise utility %v != exact %v",
+			rep.TruthExpectedUtility, exact.TruthUtility)
+	}
+	if rep.Gain > 1e-9 {
+		t.Errorf("zero-noise gain = %v", rep.Gain)
+	}
+}
+
+func TestNoisyVerificationValidation(t *testing.T) {
+	ts := []float64{1, 2}
+	if _, err := NoisyVerificationGain(ts, 4, 9, 0.1, 10, 1); err == nil {
+		t.Error("expected index error")
+	}
+	if _, err := NoisyVerificationGain(ts, 4, 0, -0.1, 10, 1); err == nil {
+		t.Error("expected noise error")
+	}
+	if _, err := NoisyVerificationGain(ts, 4, 0, 1.5, 10, 1); err == nil {
+		t.Error("expected noise error")
+	}
+}
+
+// mechCB and mechTruthful are tiny aliases keeping the noisy tests
+// readable.
+func mechCB() mech.CompensationBonus { return mech.CompensationBonus{} }
+
+func mechTruthful(ts []float64) []mech.Agent { return mech.Truthful(ts) }

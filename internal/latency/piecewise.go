@@ -1,0 +1,108 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+)
+
+// Piecewise is a convex piecewise-linear latency function: l(0) =
+// Intercept, and on the k-th segment (between Breaks[k] and
+// Breaks[k+1], the last segment extending to +Inf) the latency grows
+// with slope Slopes[k]. Slopes must be nonnegative and nondecreasing,
+// which keeps the total latency convex. It models computers whose
+// congestion response steepens at utilization knees — e.g. flat until
+// a cache or memory-bandwidth cliff, then steep.
+//
+// Construct values with NewPiecewise, which validates the shape.
+type Piecewise struct {
+	// Intercept is l(0) >= 0.
+	Intercept float64
+	// Breaks are the segment start points; Breaks[0] must be 0 and
+	// the sequence strictly increasing.
+	Breaks []float64
+	// Slopes holds one slope per segment, nonnegative and
+	// nondecreasing, with Slopes[len-1] > 0 so the latency eventually
+	// grows.
+	Slopes []float64
+}
+
+// NewPiecewise validates and returns a piecewise-linear latency model.
+func NewPiecewise(intercept float64, breaks, slopes []float64) (Piecewise, error) {
+	p := Piecewise{Intercept: intercept, Breaks: breaks, Slopes: slopes}
+	if intercept < 0 || math.IsNaN(intercept) {
+		return p, fmt.Errorf("latency: invalid intercept %g", intercept)
+	}
+	if len(breaks) == 0 || len(breaks) != len(slopes) {
+		return p, fmt.Errorf("latency: %d breaks for %d slopes", len(breaks), len(slopes))
+	}
+	if breaks[0] != 0 {
+		return p, fmt.Errorf("latency: first break must be 0, got %g", breaks[0])
+	}
+	prevB := math.Inf(-1)
+	prevS := 0.0
+	for i := range breaks {
+		if breaks[i] <= prevB {
+			return p, fmt.Errorf("latency: breaks not strictly increasing at %d", i)
+		}
+		if slopes[i] < prevS || math.IsNaN(slopes[i]) {
+			return p, fmt.Errorf("latency: slopes must be nonnegative and nondecreasing at %d", i)
+		}
+		prevB, prevS = breaks[i], slopes[i]
+	}
+	if slopes[len(slopes)-1] <= 0 {
+		return p, fmt.Errorf("latency: final slope must be positive")
+	}
+	return p, nil
+}
+
+// segment returns the index of the segment containing x.
+func (p Piecewise) segment(x float64) int {
+	k := 0
+	for k+1 < len(p.Breaks) && x >= p.Breaks[k+1] {
+		k++
+	}
+	return k
+}
+
+// Latency implements Function.
+func (p Piecewise) Latency(x float64) float64 {
+	if x < 0 {
+		return math.Inf(1)
+	}
+	l := p.Intercept
+	for k := 0; k < len(p.Breaks); k++ {
+		hi := math.Inf(1)
+		if k+1 < len(p.Breaks) {
+			hi = p.Breaks[k+1]
+		}
+		span := math.Min(x, hi) - p.Breaks[k]
+		if span <= 0 {
+			break
+		}
+		l += p.Slopes[k] * span
+	}
+	return l
+}
+
+// Total implements Function.
+func (p Piecewise) Total(x float64) float64 {
+	if x < 0 {
+		return math.Inf(1)
+	}
+	return x * p.Latency(x)
+}
+
+// MarginalTotal implements Function: d/dx [x*l(x)] = l(x) + x*l'(x).
+func (p Piecewise) MarginalTotal(x float64) float64 {
+	if x < 0 {
+		return math.Inf(1)
+	}
+	return p.Latency(x) + x*p.Slopes[p.segment(x)]
+}
+
+// MaxRate implements Function.
+func (p Piecewise) MaxRate() float64 { return math.Inf(1) }
+
+func (p Piecewise) String() string {
+	return fmt.Sprintf("piecewise(l0=%g, %d segments)", p.Intercept, len(p.Breaks))
+}

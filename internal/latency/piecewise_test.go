@@ -1,0 +1,115 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func knee(t *testing.T) Piecewise {
+	t.Helper()
+	// Flat-ish until x=2, steep afterwards.
+	p, err := NewPiecewise(0.1, []float64{0, 2}, []float64{0.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPiecewiseValues(t *testing.T) {
+	p := knee(t)
+	if got := p.Latency(0); got != 0.1 {
+		t.Errorf("l(0) = %v", got)
+	}
+	if got, want := p.Latency(1), 0.1+0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("l(1) = %v, want %v", got, want)
+	}
+	if got, want := p.Latency(2), 0.1+1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("l(2) = %v, want %v", got, want)
+	}
+	if got, want := p.Latency(3), 0.1+1.0+4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("l(3) = %v, want %v", got, want)
+	}
+	if !math.IsInf(p.Latency(-1), 1) {
+		t.Error("negative load should be +Inf")
+	}
+}
+
+func TestPiecewiseContinuity(t *testing.T) {
+	p := knee(t)
+	for _, b := range []float64{2} {
+		lo := p.Latency(b - 1e-9)
+		hi := p.Latency(b + 1e-9)
+		if math.Abs(hi-lo) > 1e-6 {
+			t.Errorf("discontinuity at %v: %v vs %v", b, lo, hi)
+		}
+	}
+}
+
+func TestPiecewiseMarginalMatchesNumeric(t *testing.T) {
+	p := knee(t)
+	for _, x := range []float64{0.5, 1.5, 2.5, 5} { // away from the knee
+		h := 1e-7
+		want := (p.Total(x+h) - p.Total(x-h)) / (2 * h)
+		if got := p.MarginalTotal(x); !numeric.AlmostEqual(got, want, 1e-4, 1e-6) {
+			t.Errorf("marginal at %v = %v, numeric %v", x, got, want)
+		}
+	}
+}
+
+func TestPiecewiseMarginalNondecreasing(t *testing.T) {
+	p := knee(t)
+	prev := p.MarginalTotal(0)
+	for x := 0.1; x <= 6; x += 0.1 {
+		m := p.MarginalTotal(x)
+		if m < prev-1e-12 {
+			t.Fatalf("marginal decreased at %v", x)
+		}
+		prev = m
+	}
+}
+
+func TestPiecewiseValidate(t *testing.T) {
+	if err := Validate(knee(t)); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewPiecewiseRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		intercept float64
+		breaks    []float64
+		slopes    []float64
+	}{
+		{-1, []float64{0}, []float64{1}},
+		{0, nil, nil},
+		{0, []float64{0, 1}, []float64{1}},
+		{0, []float64{1}, []float64{1}},             // first break not 0
+		{0, []float64{0, 1, 1}, []float64{1, 2, 3}}, // not strictly increasing
+		{0, []float64{0, 1}, []float64{2, 1}},       // decreasing slopes
+		{0, []float64{0}, []float64{0}},             // final slope zero
+		{0, []float64{0}, []float64{-1}},
+	}
+	for i, c := range cases {
+		if _, err := NewPiecewise(c.intercept, c.breaks, c.slopes); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPiecewiseSingleSegmentEqualsAffine(t *testing.T) {
+	p, err := NewPiecewise(0.3, []float64{0}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff := Affine{A: 0.3, B: 2}
+	for _, x := range []float64{0, 0.5, 1, 4} {
+		if !numeric.AlmostEqual(p.Latency(x), aff.Latency(x), 1e-12, 0) {
+			t.Errorf("x=%v: piecewise %v != affine %v", x, p.Latency(x), aff.Latency(x))
+		}
+		if !numeric.AlmostEqual(p.MarginalTotal(x), aff.MarginalTotal(x), 1e-12, 0) {
+			t.Errorf("x=%v: marginals differ", x)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// ArcherTardos is the truthful payment scheme of Archer & Tardos
+// (FOCS 2001) for one-parameter agents, a second no-verification
+// baseline, stated in the utilitarian convention
+// (ValuationTotalLatency). For a model whose cost factors as
+// TotalCost(t, x) = t*w(x) and whose work curve
+// w_i(b_i) = w(x_i(b_i, b_{-i})) is decreasing in the agent's own bid,
+// the normalized truthful payment is
+//
+//	P_i(b) = b_i * w_i(b_i) + integral_{b_i}^{inf} w_i(u) du.
+//
+// Payments depend only on bids; like VCG it cannot react to slow
+// execution. The integral is evaluated with adaptive quadrature on a
+// transformed semi-infinite interval; for the linear model it also has
+// the closed form R^2 / (S_{-i} * (1 + b_i*S_{-i})) with
+// S_{-i} = sum_{j != i} 1/b_j, which the tests check against.
+//
+// Note the factorization requirement is why this mechanism lives in
+// the utilitarian convention: with per-job valuations the work curve
+// would be w(x) = x, whose tail integral diverges for the PR
+// allocation (x_i(u) ~ 1/u), so no normalized truthful payment exists
+// there.
+type ArcherTardos struct {
+	// Model must factor as TotalCost = t*Work(x); the zero value uses
+	// LinearModel.
+	Model OneParameterModel
+	// Tol is the quadrature tolerance; 0 means 1e-10.
+	Tol float64
+}
+
+func (m ArcherTardos) model() OneParameterModel {
+	if m.Model == nil {
+		return LinearModel{}
+	}
+	return m.Model
+}
+
+// Name implements Mechanism.
+func (m ArcherTardos) Name() string { return "archer-tardos" }
+
+// Run implements Mechanism.
+func (m ArcherTardos) Run(agents []Agent, rate float64) (*Outcome, error) {
+	if len(agents) < 2 {
+		return nil, ErrNeedTwoAgents
+	}
+	if err := validateAgents(agents, rate); err != nil {
+		return nil, err
+	}
+	mdl := m.model()
+	tol := m.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	bids := Bids(agents)
+	x, err := mdl.Alloc(bids, rate)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome(m.Name(), mdl, ValuationTotalLatency, agents, rate, x)
+	for i, a := range agents {
+		// Work curve as a function of agent i's hypothetical bid.
+		work := func(u float64) float64 {
+			trial := append([]float64(nil), bids...)
+			trial[i] = u
+			xi, err := mdl.Alloc(trial, rate)
+			if err != nil {
+				return 0
+			}
+			return mdl.Work(xi[i])
+		}
+		wi := mdl.Work(x[i])
+		tail := numeric.IntegrateToInf(work, a.Bid, tol)
+		if math.IsNaN(tail) || math.IsInf(tail, 0) {
+			return nil, fmt.Errorf("mech: archer-tardos tail integral diverged for agent %d", i)
+		}
+		// Presented in compensation-and-bonus shape: the bid-based
+		// cost reimbursement plus the information-rent integral.
+		o.Compensation[i] = a.Bid * wi
+		o.Bonus[i] = tail
+		o.Payment[i] = o.Compensation[i] + o.Bonus[i]
+		o.Valuation[i] = -mdl.TotalCost(a.Exec, x[i])
+		o.Utility[i] = o.Payment[i] + o.Valuation[i]
+	}
+	return o, nil
+}
+
+// LinearATPayment returns the closed-form Archer-Tardos payment for
+// the linear model: bid*x^2 + R^2/(S*(1+bid*S)) with S the sum of the
+// other agents' inverse bids. Exported for tests and the ablation
+// study.
+func LinearATPayment(bids []float64, i int, rate float64) float64 {
+	var s numeric.KahanSum
+	for j, b := range bids {
+		if j != i {
+			s.Add(1 / b)
+		}
+	}
+	S := s.Value()
+	xi := rate / (bids[i] * (1/bids[i] + S))
+	return bids[i]*xi*xi + rate*rate/(S*(1+bids[i]*S))
+}

@@ -1,0 +1,319 @@
+package mech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestBidCompensationBonusIsManipulable(t *testing.T) {
+	// The no-verification variant is manipulable: an agent that bids
+	// *below* its true value is under-reimbursed on the compensation,
+	// but the bid-based bonus credits it with a latency reduction that
+	// never materializes, and the net effect is a strict gain. This is
+	// exactly the paper's Low1 play, profitable once verification is
+	// removed.
+	truth := mustRun(t, BidCompensationBonus{}, Truthful(paperTs()), paperRate)
+	lie := mustRun(t, BidCompensationBonus{}, deviate(0.5, 1), paperRate)
+	if lie.Utility[0] <= truth.Utility[0] {
+		t.Errorf("no-verification mechanism: underbid utility %v should exceed truthful %v",
+			lie.Utility[0], truth.Utility[0])
+	}
+	// The same play loses under the verification mechanism.
+	vTruth := mustRun(t, CompensationBonus{}, Truthful(paperTs()), paperRate)
+	vLie := mustRun(t, CompensationBonus{}, deviate(0.5, 1), paperRate)
+	if vLie.Utility[0] >= vTruth.Utility[0] {
+		t.Errorf("verification mechanism should make the underbid unprofitable: %v vs %v",
+			vLie.Utility[0], vTruth.Utility[0])
+	}
+}
+
+func TestBidCompensationBonusPaymentIgnoresExecution(t *testing.T) {
+	fast := mustRun(t, BidCompensationBonus{}, deviate(1, 1), paperRate)
+	slow := mustRun(t, BidCompensationBonus{}, deviate(1, 3), paperRate)
+	if !numeric.AlmostEqual(fast.Payment[0], slow.Payment[0], 1e-12, 1e-12) {
+		t.Errorf("payment should not depend on execution: %v vs %v",
+			fast.Payment[0], slow.Payment[0])
+	}
+	// ... while the verification mechanism reacts.
+	vFast := mustRun(t, CompensationBonus{}, deviate(1, 1), paperRate)
+	vSlow := mustRun(t, CompensationBonus{}, deviate(1, 3), paperRate)
+	if vSlow.Payment[0] >= vFast.Payment[0] {
+		t.Errorf("verification mechanism should cut the slow executor's payment: %v vs %v",
+			vSlow.Payment[0], vFast.Payment[0])
+	}
+}
+
+func TestVCGTruthfulInBids(t *testing.T) {
+	// With truthful execution, no unilateral misreport beats truth.
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		n := 2 + r.Intn(6)
+		agents := make([]Agent, n)
+		for i := range agents {
+			tv := 0.2 + 5*r.Float64()
+			agents[i] = Agent{True: tv, Bid: tv, Exec: tv}
+		}
+		rate := 0.5 + 20*r.Float64()
+		truthO, err := VCG{}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		agents[0].Bid = 0.2 + 5*r.Float64()
+		// Execution stays at capacity; VCG says nothing about ť.
+		devO, err := VCG{}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		return devO.Utility[0] <= truthO.Utility[0]+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVCGUtilityCoincidesButPaymentDoesNot(t *testing.T) {
+	// A structural fact of the linear flow model, documented in
+	// DESIGN.md: because the objective is the sum of agent costs and a
+	// slow executor's latency increase lands entirely in its own cost
+	// term, VCG deviation *utilities* coincide exactly with the
+	// verification mechanism's bonus. What verification changes is the
+	// *payment*: it compensates the realized cost instead of the
+	// declared one, reacts to slow execution, and can go negative
+	// (Low2), while VCG's payment is frozen at bid time.
+	for _, d := range [][2]float64{{1, 1}, {1, 2}, {3, 3}, {0.5, 2}, {0.5, 1}} {
+		v := mustRun(t, VCG{}, deviate(d[0], d[1]), paperRate)
+		c := mustRun(t, CompensationBonus{}, deviate(d[0], d[1]), paperRate)
+		if !numeric.AlmostEqual(v.Utility[0], c.Utility[0], 1e-9, 1e-9) {
+			t.Errorf("deviation %v: VCG utility %v != verification utility %v",
+				d, v.Utility[0], c.Utility[0])
+		}
+	}
+	// Payment response to slow execution: verification cuts, VCG not.
+	vFast := mustRun(t, VCG{}, deviate(1, 1), paperRate)
+	vSlow := mustRun(t, VCG{}, deviate(1, 2), paperRate)
+	if !numeric.AlmostEqual(vFast.Payment[0], vSlow.Payment[0], 1e-12, 1e-12) {
+		t.Error("VCG payment should ignore execution value")
+	}
+	cFast := mustRun(t, CompensationBonus{}, deviate(1, 1), paperRate)
+	cSlow := mustRun(t, CompensationBonus{}, deviate(1, 2), paperRate)
+	if cSlow.Payment[0] >= cFast.Payment[0] {
+		t.Errorf("verification payment should fall under slow execution: %v vs %v",
+			cSlow.Payment[0], cFast.Payment[0])
+	}
+}
+
+func TestVCGPaymentFixedBeforeExecution(t *testing.T) {
+	a := mustRun(t, VCG{}, deviate(1, 1), paperRate)
+	b := mustRun(t, VCG{}, deviate(1, 4), paperRate)
+	for i := range a.Payment {
+		if !numeric.AlmostEqual(a.Payment[i], b.Payment[i], 1e-12, 1e-12) {
+			t.Errorf("VCG payment %d changed with execution: %v vs %v", i, a.Payment[i], b.Payment[i])
+		}
+	}
+}
+
+func TestVCGIndividualRationalityTruthful(t *testing.T) {
+	o := mustRun(t, VCG{}, Truthful(paperTs()), paperRate)
+	for i, u := range o.Utility {
+		if u < -1e-9 {
+			t.Errorf("truthful VCG agent %d has negative utility %v", i, u)
+		}
+	}
+}
+
+func TestArcherTardosMatchesClosedForm(t *testing.T) {
+	agents := Truthful(paperTs())
+	o := mustRun(t, ArcherTardos{}, agents, paperRate)
+	bids := Bids(agents)
+	for i := range agents {
+		want := LinearATPayment(bids, i, paperRate)
+		if !numeric.AlmostEqual(o.Payment[i], want, 1e-6, 1e-9) {
+			t.Errorf("AT payment[%d] = %v, closed form %v", i, o.Payment[i], want)
+		}
+	}
+}
+
+func TestArcherTardosTruthfulInBids(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		n := 2 + r.Intn(4)
+		agents := make([]Agent, n)
+		for i := range agents {
+			tv := 0.3 + 4*r.Float64()
+			bid := 0.3 + 4*r.Float64()
+			agents[i] = Agent{True: tv, Bid: bid, Exec: bid}
+		}
+		rate := 1 + 10*r.Float64()
+		agents[0].Bid, agents[0].Exec = agents[0].True, agents[0].True
+		truthO, err := ArcherTardos{Tol: 1e-9}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		agents[0].Bid = 0.3 + 4*r.Float64()
+		agents[0].Exec = agents[0].True // executes at capacity regardless
+		devO, err := ArcherTardos{Tol: 1e-9}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		return devO.Utility[0] <= truthO.Utility[0]+1e-5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArcherTardosVoluntaryParticipation(t *testing.T) {
+	o := mustRun(t, ArcherTardos{}, Truthful(paperTs()), paperRate)
+	for i, u := range o.Utility {
+		if u < -1e-9 {
+			t.Errorf("truthful AT agent %d has negative utility %v", i, u)
+		}
+	}
+}
+
+func TestClassicalNoPayments(t *testing.T) {
+	o := mustRun(t, Classical{}, Truthful(paperTs()), paperRate)
+	for i := range o.Payment {
+		if o.Payment[i] != 0 {
+			t.Errorf("classical payment[%d] = %v, want 0", i, o.Payment[i])
+		}
+		if o.Utility[i] != o.Valuation[i] {
+			t.Errorf("classical utility[%d] != valuation", i)
+		}
+	}
+}
+
+func TestClassicalRewardsLiars(t *testing.T) {
+	// Without payments a selfish agent gains by over-bidding (less
+	// work, lower own latency) — the failure that motivates the paper.
+	truth := mustRun(t, Classical{}, Truthful(paperTs()), paperRate)
+	lie := mustRun(t, Classical{}, deviate(3, 1), paperRate)
+	if lie.Utility[0] <= truth.Utility[0] {
+		t.Errorf("classical: overbid utility %v should exceed truthful %v",
+			lie.Utility[0], truth.Utility[0])
+	}
+	// And the system as a whole suffers.
+	if lie.RealLatency <= truth.RealLatency {
+		t.Errorf("classical: lying should increase total latency (%v vs %v)",
+			lie.RealLatency, truth.RealLatency)
+	}
+}
+
+func TestMM1ModelMechanism(t *testing.T) {
+	// Four M/M/1 computers with service rates 10, 5, 2, 1 (values are
+	// mean service times).
+	// Rate 5 keeps every exclusion subsystem strictly under capacity
+	// (the slowest exclusion, dropping the mu=10 computer, leaves
+	// capacity 8).
+	ts := []float64{0.1, 0.2, 0.5, 1}
+	agents := Truthful(ts)
+	o := mustRun(t, CompensationBonus{Model: MM1Model{}}, agents, 5)
+	if o.Model != "mm1" {
+		t.Errorf("model = %q", o.Model)
+	}
+	// Voluntary participation.
+	for i, u := range o.Utility {
+		if u < -1e-6 {
+			t.Errorf("truthful MM1 agent %d has negative utility %v", i, u)
+		}
+	}
+	// Truthfulness spot checks with ť >= t.
+	for _, d := range [][2]float64{{1.5, 1}, {0.8, 1}, {1, 1.5}, {1.3, 1.3}} {
+		dev := Truthful(ts)
+		dev[0].Bid = ts[0] * d[0]
+		dev[0].Exec = ts[0] * d[1]
+		devO, err := CompensationBonus{Model: MM1Model{}}.Run(dev, 5)
+		if err != nil {
+			t.Fatalf("deviation %v: %v", d, err)
+		}
+		if devO.Utility[0] > o.Utility[0]+1e-6 {
+			t.Errorf("MM1 deviation %v beats truth: %v > %v", d, devO.Utility[0], o.Utility[0])
+		}
+	}
+}
+
+func TestMM1ModelInfeasibleRate(t *testing.T) {
+	agents := Truthful([]float64{1, 1}) // total capacity 2 jobs/s
+	if _, err := (CompensationBonus{Model: MM1Model{}}).Run(agents, 5); err == nil {
+		t.Error("expected infeasibility error")
+	}
+}
+
+func TestValuationKinds(t *testing.T) {
+	agents := Truthful(paperTs())
+	perJob := []Mechanism{CompensationBonus{}, BidCompensationBonus{}, Classical{}}
+	for _, m := range perJob {
+		o := mustRun(t, m, agents, paperRate)
+		if o.Kind != ValuationPerJob {
+			t.Errorf("%s kind = %q, want per-job", m.Name(), o.Kind)
+		}
+	}
+	utilitarian := []Mechanism{VCG{}, ArcherTardos{}}
+	for _, m := range utilitarian {
+		o := mustRun(t, m, agents, paperRate)
+		if o.Kind != ValuationTotalLatency {
+			t.Errorf("%s kind = %q, want total-latency", m.Name(), o.Kind)
+		}
+	}
+}
+
+func TestVCGEqualsCompBonusOnTruthfulBidsUpToConvention(t *testing.T) {
+	// On fully truthful play the bonus parts coincide: both award
+	// L_{-i} - L. Only the compensation part differs by convention.
+	agents := Truthful(paperTs())
+	v := mustRun(t, VCG{}, agents, paperRate)
+	c := mustRun(t, CompensationBonus{}, agents, paperRate)
+	for i := range agents {
+		if !numeric.AlmostEqual(v.Bonus[i], c.Bonus[i], 1e-9, 1e-9) {
+			t.Errorf("bonus[%d]: VCG %v vs CB %v", i, v.Bonus[i], c.Bonus[i])
+		}
+	}
+}
+
+func TestArcherTardosEqualsVCGOnLinearModel(t *testing.T) {
+	// An exact identity on the linear model, derivable in closed form:
+	// the AT information-rent integral int_b^inf x_i(u)^2 du equals
+	// R^2/(t*S_{-i}*S), which is precisely the Clarke marginal term
+	// L_{-i} - L. So AT and VCG payments coincide for every bid
+	// profile, not just truthful ones.
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		n := 2 + r.Intn(5)
+		agents := make([]Agent, n)
+		for i := range agents {
+			v := 0.3 + 5*r.Float64()
+			b := 0.3 + 5*r.Float64()
+			agents[i] = Agent{True: v, Bid: b, Exec: b}
+		}
+		rate := 1 + 20*r.Float64()
+		at, err := ArcherTardos{Tol: 1e-10}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		vcg, err := VCG{}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		for i := range agents {
+			if !numeric.AlmostEqual(at.Payment[i], vcg.Payment[i], 1e-5, 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearATPaymentSymmetry(t *testing.T) {
+	bids := []float64{2, 2, 2}
+	p0 := LinearATPayment(bids, 0, 9)
+	p1 := LinearATPayment(bids, 1, 9)
+	if math.Abs(p0-p1) > 1e-12 {
+		t.Errorf("symmetric agents got AT payments %v, %v", p0, p1)
+	}
+}

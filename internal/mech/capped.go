@@ -1,0 +1,103 @@
+package mech
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/alloc"
+	"repro/internal/numeric"
+)
+
+// CappedLinearModel is the linear model with public per-computer rate
+// caps: computer i may be assigned at most Caps[i] jobs/s regardless
+// of its reported speed (administrative limits, bandwidth quotas,
+// colocation policies). The allocation is the cap-constrained
+// total-latency minimizer; the Groves argument behind the paper's
+// mechanism carries over unchanged because the allocation still
+// minimizes the reported total latency over the (now constrained)
+// feasible set, so the compensation-and-bonus mechanism remains
+// truthful — which the conformance-style tests verify numerically.
+//
+// Caps are public infrastructure facts, not reports; only the speed
+// is private.
+type CappedLinearModel struct {
+	// Caps are the per-computer rate limits; +Inf entries mean
+	// uncapped.
+	Caps []float64
+}
+
+// Name implements Model.
+func (m CappedLinearModel) Name() string { return "linear-capped" }
+
+// Alloc implements Model via the cap-constrained KKT solver.
+func (m CappedLinearModel) Alloc(values []float64, rate float64) ([]float64, error) {
+	if len(values) != len(m.Caps) {
+		return nil, fmt.Errorf("mech: %d values for %d caps", len(values), len(m.Caps))
+	}
+	return alloc.OptimalCapped(alloc.LinearFunctions(values), rate, m.Caps)
+}
+
+// Latency implements Model: l(x) = t*x.
+func (CappedLinearModel) Latency(value, x float64) float64 { return value * x }
+
+// TotalCost implements Model: t*x^2.
+func (CappedLinearModel) TotalCost(value, x float64) float64 { return value * x * x }
+
+// OptimalTotal implements Model. Exclusion subsystems inherit the
+// remaining computers' caps; if they cannot carry the rate, the
+// excluded computer is critical and the optimum is +Inf (the
+// mechanism then reports the agent as unpriceable).
+func (m CappedLinearModel) OptimalTotal(values []float64, rate float64) (float64, error) {
+	if len(values) == 0 {
+		if rate == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	// OptimalTotal is called both for the full system (len == caps)
+	// and for exclusion subsystems (len == caps-1). For exclusions the
+	// mechanism passes the sub-vector of caps via excludeCaps.
+	caps := m.Caps
+	if len(values) != len(caps) {
+		return 0, errors.New("mech: capped model needs matching cap vector; use SubModel for exclusions")
+	}
+	x, err := alloc.OptimalCapped(alloc.LinearFunctions(values), rate, caps)
+	if err != nil {
+		if errors.Is(err, alloc.ErrInfeasible) {
+			return math.Inf(1), nil
+		}
+		return 0, err
+	}
+	return numeric.SumFunc(len(values), func(i int) float64 {
+		return values[i] * x[i] * x[i]
+	}), nil
+}
+
+// SubModel returns the capped model for the subsystem without
+// computer i.
+func (m CappedLinearModel) SubModel(i int) CappedLinearModel {
+	return CappedLinearModel{Caps: alloc.Exclude(m.Caps, i)}
+}
+
+// ExclusionModeler lets a mechanism derive the correct model for the
+// "system without agent i" when the model carries per-agent structure
+// (like caps). Models without such structure are their own exclusion
+// model.
+type ExclusionModeler interface {
+	// ExclusionModel returns the model describing the system with
+	// agent i removed.
+	ExclusionModel(i int) Model
+}
+
+// ExclusionModel implements ExclusionModeler.
+func (m CappedLinearModel) ExclusionModel(i int) Model { return m.SubModel(i) }
+
+// exclusionModel returns the model to use for the subsystem without
+// agent i.
+func exclusionModel(m Model, i int) Model {
+	if em, ok := m.(ExclusionModeler); ok {
+		return em.ExclusionModel(i)
+	}
+	return m
+}

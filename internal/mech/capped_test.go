@@ -1,0 +1,130 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func uncapped(n int) []float64 {
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = math.Inf(1)
+	}
+	return caps
+}
+
+func TestCappedModelMatchesLinearWhenLoose(t *testing.T) {
+	ts := []float64{1, 2, 5, 10}
+	agents := Truthful(ts)
+	const rate = 8
+	plain, err := CompensationBonus{}.Run(agents, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := CompensationBonus{Model: CappedLinearModel{Caps: uncapped(4)}}.Run(agents, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if !numeric.AlmostEqual(capped.Alloc[i], plain.Alloc[i], 1e-9, 1e-12) {
+			t.Errorf("alloc[%d]: capped %v vs plain %v", i, capped.Alloc[i], plain.Alloc[i])
+		}
+		if !numeric.AlmostEqual(capped.Payment[i], plain.Payment[i], 1e-9, 1e-9) {
+			t.Errorf("payment[%d]: capped %v vs plain %v", i, capped.Payment[i], plain.Payment[i])
+		}
+	}
+}
+
+func TestCappedModelBindingCap(t *testing.T) {
+	ts := []float64{1, 2, 5, 10}
+	caps := []float64{2, math.Inf(1), math.Inf(1), math.Inf(1)}
+	agents := Truthful(ts)
+	const rate = 8
+	o, err := CompensationBonus{Model: CappedLinearModel{Caps: caps}}.Run(agents, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o.Alloc[0]-2) > 1e-9 {
+		t.Errorf("capped computer got %v, want its cap 2", o.Alloc[0])
+	}
+	var sum float64
+	for _, x := range o.Alloc {
+		sum += x
+	}
+	if math.Abs(sum-rate) > 1e-6 {
+		t.Errorf("allocation sums to %v", sum)
+	}
+	// Voluntary participation still holds.
+	for i, u := range o.Utility {
+		if u < -1e-9 {
+			t.Errorf("truthful capped agent %d utility %v", i, u)
+		}
+	}
+}
+
+func TestCappedModelStillTruthful(t *testing.T) {
+	// The Groves argument survives the constraint set change: no
+	// unilateral deviation (including ones that dodge or exploit the
+	// cap) beats truth.
+	ts := []float64{1, 2, 5, 10}
+	caps := []float64{2, 3, math.Inf(1), math.Inf(1)}
+	m := CompensationBonus{Model: CappedLinearModel{Caps: caps}}
+	const rate = 8
+	truth, err := m.Run(Truthful(ts), rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range [][2]float64{
+		{0.5, 1}, {0.8, 1}, {1.2, 1}, {2, 1}, {5, 1},
+		{1, 1.5}, {1, 2}, {0.5, 2}, {3, 3},
+	} {
+		dev := Truthful(ts)
+		dev[0].Bid = d[0] * ts[0]
+		dev[0].Exec = d[1] * ts[0]
+		o, err := m.Run(dev, rate)
+		if err != nil {
+			t.Fatalf("deviation %v: %v", d, err)
+		}
+		if o.Utility[0] > truth.Utility[0]+1e-9 {
+			t.Errorf("capped mechanism manipulated by %v: %v > %v",
+				d, o.Utility[0], truth.Utility[0])
+		}
+	}
+}
+
+func TestCappedModelCriticalAgentUnpriceable(t *testing.T) {
+	// Without computer 0 the others cannot carry the rate, so its
+	// exclusion optimum is +Inf: the mechanism reports infinite
+	// payment rather than something quietly wrong.
+	ts := []float64{1, 2}
+	caps := []float64{math.Inf(1), 3}
+	o, err := CompensationBonus{Model: CappedLinearModel{Caps: caps}}.Run(Truthful(ts), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(o.Payment[0], 1) {
+		t.Errorf("critical agent payment = %v, want +Inf", o.Payment[0])
+	}
+	if math.IsInf(o.Payment[1], 0) {
+		t.Errorf("non-critical agent payment = %v, want finite", o.Payment[1])
+	}
+}
+
+func TestCappedModelValidation(t *testing.T) {
+	m := CappedLinearModel{Caps: []float64{1, 2}}
+	if _, err := m.Alloc([]float64{1}, 1); err == nil {
+		t.Error("expected error for value/cap count mismatch")
+	}
+	if _, err := m.OptimalTotal([]float64{1}, 1); err == nil {
+		t.Error("expected error for mismatched OptimalTotal")
+	}
+	if v, err := m.OptimalTotal(nil, 0); err != nil || v != 0 {
+		t.Errorf("empty zero-rate = %v, %v", v, err)
+	}
+	sub := m.SubModel(0)
+	if len(sub.Caps) != 1 || sub.Caps[0] != 2 {
+		t.Errorf("SubModel caps = %v", sub.Caps)
+	}
+}

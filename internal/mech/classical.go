@@ -1,0 +1,46 @@
+package mech
+
+// Classical is the traditional load balancing setting: computers are
+// assumed obedient, the optimal allocation is computed on the reports,
+// and no payments are made. It is the paper's implicit baseline — the
+// regime whose failure under self-interest (Figure 1's degradations)
+// motivates the mechanism. Outcomes use the paper's per-job valuation
+// convention.
+type Classical struct {
+	// Model is the latency model; the zero value uses LinearModel.
+	Model Model
+}
+
+func (m Classical) model() Model {
+	if m.Model == nil {
+		return LinearModel{}
+	}
+	return m.Model
+}
+
+// Name implements Mechanism.
+func (m Classical) Name() string { return "classical-obedient" }
+
+// Run implements Mechanism. Payments are identically zero, so each
+// agent's utility is just its (negated) realized per-job latency —
+// which is why a selfish agent prefers to bid high and receive less
+// work.
+func (m Classical) Run(agents []Agent, rate float64) (*Outcome, error) {
+	if len(agents) < 2 {
+		return nil, ErrNeedTwoAgents
+	}
+	if err := validateAgents(agents, rate); err != nil {
+		return nil, err
+	}
+	mdl := m.model()
+	x, err := mdl.Alloc(Bids(agents), rate)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome(m.Name(), mdl, ValuationPerJob, agents, rate, x)
+	for i, a := range agents {
+		o.Valuation[i] = -mdl.Latency(a.Exec, x[i])
+		o.Utility[i] = o.Valuation[i]
+	}
+	return o, nil
+}

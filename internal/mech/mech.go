@@ -1,0 +1,291 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alloc"
+	"repro/internal/numeric"
+)
+
+// Agent is one self-interested computer participating in the
+// mechanism.
+type Agent struct {
+	// Name labels the agent in reports ("C1", "C2", ...).
+	Name string
+	// True is the private true value t (inverse processing rate).
+	True float64
+	// Bid is the reported value b submitted to the mechanism.
+	Bid float64
+	// Exec is the execution value ť the agent actually runs at. The
+	// paper restricts ť >= t (a computer cannot beat its capacity);
+	// Run enforces only positivity so that hypothetical deviations can
+	// be explored, and the game layer applies the ť >= t restriction.
+	Exec float64
+}
+
+// Truthful returns an agent population with Bid = Exec = True for the
+// given latency parameters, named C1..Cn as in the paper.
+func Truthful(ts []float64) []Agent {
+	agents := make([]Agent, len(ts))
+	for i, t := range ts {
+		agents[i] = Agent{Name: fmt.Sprintf("C%d", i+1), True: t, Bid: t, Exec: t}
+	}
+	return agents
+}
+
+// Values extracts one field from an agent population.
+func Values(agents []Agent, field func(Agent) float64) []float64 {
+	out := make([]float64, len(agents))
+	for i, a := range agents {
+		out[i] = field(a)
+	}
+	return out
+}
+
+// Bids returns the bid vector.
+func Bids(agents []Agent) []float64 { return Values(agents, func(a Agent) float64 { return a.Bid }) }
+
+// Execs returns the execution-value vector.
+func Execs(agents []Agent) []float64 { return Values(agents, func(a Agent) float64 { return a.Exec }) }
+
+// Trues returns the true-value vector.
+func Trues(agents []Agent) []float64 { return Values(agents, func(a Agent) float64 { return a.True }) }
+
+// ValuationKind records which valuation convention an Outcome's
+// Valuation, Utility and frugality numbers are expressed in.
+type ValuationKind string
+
+const (
+	// ValuationPerJob is the paper's convention: V_i = -l_i(x_i), the
+	// negated per-job latency.
+	ValuationPerJob ValuationKind = "per-job-latency"
+	// ValuationTotalLatency is the utilitarian convention:
+	// V_i = -x_i*l_i(x_i), the negated total-latency share, under
+	// which the system objective is the sum of valuations.
+	ValuationTotalLatency ValuationKind = "total-latency-share"
+)
+
+// Outcome is the full result of one mechanism execution.
+type Outcome struct {
+	// Mechanism names the mechanism that produced this outcome.
+	Mechanism string
+	// Model names the latency model.
+	Model string
+	// Kind records the valuation convention of this outcome.
+	Kind ValuationKind
+	// Rate is the total job arrival rate R.
+	Rate float64
+	// Alloc is the load x_i assigned to each agent.
+	Alloc []float64
+	// BidLatency is the total latency the mechanism expects given the
+	// bids (all agents executing at their bid).
+	BidLatency float64
+	// RealLatency is the realized total latency with every agent
+	// executing at its execution value.
+	RealLatency float64
+	// Compensation, Bonus, Payment are the per-agent payment parts;
+	// Payment[i] = Compensation[i] + Bonus[i] for compensation-and-
+	// bonus mechanisms. Mechanisms without that structure fill the
+	// closest analogues they define.
+	Compensation []float64
+	Bonus        []float64
+	Payment      []float64
+	// Valuation is the agent's valuation in the convention named by
+	// Kind, evaluated at its execution value.
+	Valuation []float64
+	// Utility is Payment + Valuation.
+	Utility []float64
+}
+
+// TotalPayment returns the sum of payments handed out.
+func (o *Outcome) TotalPayment() float64 { return numeric.Sum(o.Payment) }
+
+// TotalValuation returns sum_i |V_i|, the aggregate cost incurred by
+// the agents (paper Figure 6 calls this the total valuation).
+func (o *Outcome) TotalValuation() float64 {
+	return numeric.SumFunc(len(o.Valuation), func(i int) float64 {
+		return math.Abs(o.Valuation[i])
+	})
+}
+
+// FrugalityRatio returns TotalPayment / TotalValuation, the measure
+// the paper uses in Figure 6 (bounded by ~2.5 in its experiments and
+// below by 1 for voluntary-participation mechanisms).
+func (o *Outcome) FrugalityRatio() float64 {
+	tv := o.TotalValuation()
+	if tv == 0 {
+		return math.NaN()
+	}
+	return o.TotalPayment() / tv
+}
+
+// Mechanism computes an allocation and payments from agent reports.
+type Mechanism interface {
+	// Name identifies the mechanism.
+	Name() string
+	// Run executes the mechanism on the agents at total rate R.
+	Run(agents []Agent, rate float64) (*Outcome, error)
+}
+
+// validateAgents rejects non-positive or non-finite parameters.
+func validateAgents(agents []Agent, rate float64) error {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("mech: invalid rate %g", rate)
+	}
+	for i, a := range agents {
+		for _, v := range []float64{a.True, a.Bid, a.Exec} {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("mech: agent %d (%s) has invalid parameter %g", i, a.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// newOutcome allocates an Outcome with the shared per-agent slices and
+// latency aggregates filled in.
+func newOutcome(name string, mdl Model, kind ValuationKind, agents []Agent, rate float64, x []float64) *Outcome {
+	n := len(agents)
+	return &Outcome{
+		Mechanism:    name,
+		Model:        mdl.Name(),
+		Kind:         kind,
+		Rate:         rate,
+		Alloc:        x,
+		BidLatency:   totalMixedCost(mdl, Bids(agents), x),
+		RealLatency:  totalMixedCost(mdl, Execs(agents), x),
+		Compensation: make([]float64, n),
+		Bonus:        make([]float64, n),
+		Payment:      make([]float64, n),
+		Valuation:    make([]float64, n),
+		Utility:      make([]float64, n),
+	}
+}
+
+// CompensationBonus is the paper's load balancing mechanism with
+// verification (Definition 3.3). The allocation is the model-optimal
+// allocation on the bids (the PR algorithm for the linear model); the
+// payment to agent i, handed out after execution when the execution
+// values ť are known, is
+//
+//	P_i = C_i + B_i
+//	C_i = l_i(ť_i, x_i)                                 (compensation)
+//	B_i = L*(b_{-i}) - L(x(b); ť_i, b_{-i})             (bonus)
+//
+// where l_i is agent i's verified per-job latency, L*(b_{-i}) is the
+// optimal total latency of the system without agent i, and the bonus's
+// second term is the realized total latency with agent i's own share
+// valued at its verified execution value and the others at their bids.
+// The bonus is each agent's contribution to reducing total latency, so
+// utility U_i = P_i + V_i = B_i is maximized by truth-telling
+// (Theorem 3.1) and is nonnegative for truthful agents (Theorem 3.2).
+type CompensationBonus struct {
+	// Model is the latency model; the zero value uses LinearModel.
+	Model Model
+}
+
+// model returns the configured model or the paper default.
+func (m CompensationBonus) model() Model {
+	if m.Model == nil {
+		return LinearModel{}
+	}
+	return m.Model
+}
+
+// Name implements Mechanism.
+func (m CompensationBonus) Name() string { return "compensation-bonus-verification" }
+
+// Run implements Mechanism.
+func (m CompensationBonus) Run(agents []Agent, rate float64) (*Outcome, error) {
+	if len(agents) < 2 {
+		return nil, ErrNeedTwoAgents
+	}
+	if err := validateAgents(agents, rate); err != nil {
+		return nil, err
+	}
+	mdl := m.model()
+	bids := Bids(agents)
+	x, err := mdl.Alloc(bids, rate)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome(m.Name(), mdl, ValuationPerJob, agents, rate, x)
+	for i, a := range agents {
+		lExcl, err := exclusionModel(mdl, i).OptimalTotal(alloc.Exclude(bids, i), rate)
+		if err != nil {
+			return nil, fmt.Errorf("mech: exclusion optimum for agent %d: %w", i, err)
+		}
+		var others numeric.KahanSum
+		for j := range agents {
+			if j != i {
+				others.Add(mdl.TotalCost(bids[j], x[j]))
+			}
+		}
+		realized := mdl.TotalCost(a.Exec, x[i]) + others.Value()
+		o.Compensation[i] = mdl.Latency(a.Exec, x[i])
+		o.Bonus[i] = lExcl - realized
+		o.Payment[i] = o.Compensation[i] + o.Bonus[i]
+		o.Valuation[i] = -mdl.Latency(a.Exec, x[i])
+		o.Utility[i] = o.Payment[i] + o.Valuation[i]
+	}
+	return o, nil
+}
+
+// BidCompensationBonus is the same compensation-and-bonus construction
+// *without* verification: every occurrence of the execution value in
+// the payment is replaced by the bid, because an unverified mechanism
+// can observe nothing else. The payment is therefore fixed before
+// execution:
+//
+//	P_i = l_i(b_i, x_i) + [L*(b_{-i}) - L(x(b); b)]
+//
+// This mechanism is NOT truthful: compensating the *declared* per-job
+// cost hands an over-bidder a first-order gain (b_i - t_i)*x_i that
+// the second-order allocative loss in the bonus cannot offset, and a
+// slow executor keeps its payment unchanged. The game-layer tests and
+// the ablation benchmark quantify both manipulation channels; this is
+// the baseline that motivates verification.
+type BidCompensationBonus struct {
+	// Model is the latency model; the zero value uses LinearModel.
+	Model Model
+}
+
+func (m BidCompensationBonus) model() Model {
+	if m.Model == nil {
+		return LinearModel{}
+	}
+	return m.Model
+}
+
+// Name implements Mechanism.
+func (m BidCompensationBonus) Name() string { return "compensation-bonus-noverification" }
+
+// Run implements Mechanism.
+func (m BidCompensationBonus) Run(agents []Agent, rate float64) (*Outcome, error) {
+	if len(agents) < 2 {
+		return nil, ErrNeedTwoAgents
+	}
+	if err := validateAgents(agents, rate); err != nil {
+		return nil, err
+	}
+	mdl := m.model()
+	bids := Bids(agents)
+	x, err := mdl.Alloc(bids, rate)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome(m.Name(), mdl, ValuationPerJob, agents, rate, x)
+	for i, a := range agents {
+		lExcl, err := exclusionModel(mdl, i).OptimalTotal(alloc.Exclude(bids, i), rate)
+		if err != nil {
+			return nil, fmt.Errorf("mech: exclusion optimum for agent %d: %w", i, err)
+		}
+		o.Compensation[i] = mdl.Latency(a.Bid, x[i])
+		o.Bonus[i] = lExcl - o.BidLatency
+		o.Payment[i] = o.Compensation[i] + o.Bonus[i]
+		o.Valuation[i] = -mdl.Latency(a.Exec, x[i])
+		o.Utility[i] = o.Payment[i] + o.Valuation[i]
+	}
+	return o, nil
+}

@@ -1,0 +1,288 @@
+package mech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+// paperTs is the Table 1 configuration of the paper.
+func paperTs() []float64 {
+	return []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10}
+}
+
+const paperRate = 20.0
+
+// deviate returns the paper's agent population with C1 playing
+// (bidFactor*t1, execFactor*t1) and everyone else truthful.
+func deviate(bidFactor, execFactor float64) []Agent {
+	agents := Truthful(paperTs())
+	agents[0].Bid = bidFactor * agents[0].True
+	agents[0].Exec = execFactor * agents[0].True
+	return agents
+}
+
+func mustRun(t *testing.T, m Mechanism, agents []Agent, rate float64) *Outcome {
+	t.Helper()
+	o, err := m.Run(agents, rate)
+	if err != nil {
+		t.Fatalf("%s.Run: %v", m.Name(), err)
+	}
+	return o
+}
+
+func TestCompensationBonusTrue1(t *testing.T) {
+	o := mustRun(t, CompensationBonus{}, Truthful(paperTs()), paperRate)
+	// Paper headline: minimum total latency 78.43.
+	if math.Abs(o.RealLatency-78.431372549) > 1e-6 {
+		t.Errorf("RealLatency = %v, want 78.4314", o.RealLatency)
+	}
+	if math.Abs(o.BidLatency-o.RealLatency) > 1e-9 {
+		t.Errorf("truthful run: BidLatency %v != RealLatency %v", o.BidLatency, o.RealLatency)
+	}
+	// C1's utility = its bonus = L_{-1} - L = 400/4.1 - 400/5.1.
+	wantU1 := 400.0/4.1 - 400.0/5.1
+	if math.Abs(o.Utility[0]-wantU1) > 1e-9 {
+		t.Errorf("U1 = %v, want %v", o.Utility[0], wantU1)
+	}
+	// Voluntary participation: truthful utilities are nonnegative.
+	for i, u := range o.Utility {
+		if u < 0 {
+			t.Errorf("truthful agent %d has negative utility %v", i, u)
+		}
+	}
+	// Identical computers receive identical treatment.
+	if math.Abs(o.Utility[0]-o.Utility[1]) > 1e-9 {
+		t.Errorf("identical agents C1, C2 got utilities %v, %v", o.Utility[0], o.Utility[1])
+	}
+}
+
+func TestCompensationBonusUtilityEqualsBonus(t *testing.T) {
+	// U_i = P_i + V_i = B_i because compensation cancels valuation,
+	// for any deviation of C1.
+	for _, d := range [][2]float64{{1, 1}, {1, 2}, {3, 3}, {3, 1}, {0.5, 1}, {0.5, 2}} {
+		o := mustRun(t, CompensationBonus{}, deviate(d[0], d[1]), paperRate)
+		for i := range o.Utility {
+			if !numeric.AlmostEqual(o.Utility[i], o.Bonus[i], 1e-9, 1e-9) {
+				t.Errorf("deviation %v: U[%d]=%v != B[%d]=%v", d, i, o.Utility[i], i, o.Bonus[i])
+			}
+		}
+	}
+}
+
+func TestCompensationBonusLow2NegativePaymentAndUtility(t *testing.T) {
+	// The paper's most distinctive datapoint: in Low2 (bid t/2,
+	// execute 2t) C1's bonus goes negative, its absolute value exceeds
+	// the compensation, and both payment and utility are negative.
+	o := mustRun(t, CompensationBonus{}, deviate(0.5, 2), paperRate)
+	if o.Payment[0] >= 0 {
+		t.Errorf("Low2 payment = %v, want negative", o.Payment[0])
+	}
+	if o.Utility[0] >= 0 {
+		t.Errorf("Low2 utility = %v, want negative", o.Utility[0])
+	}
+	if o.Bonus[0] >= 0 {
+		t.Errorf("Low2 bonus = %v, want negative", o.Bonus[0])
+	}
+	if math.Abs(o.Bonus[0]) <= o.Compensation[0] {
+		t.Errorf("Low2: |bonus| %v should exceed compensation %v",
+			math.Abs(o.Bonus[0]), o.Compensation[0])
+	}
+	// Total latency increase about 66%.
+	inc := o.RealLatency/78.431372549 - 1
+	if math.Abs(inc-0.66) > 0.01 {
+		t.Errorf("Low2 latency increase = %.3f, want ~0.66", inc)
+	}
+}
+
+func TestCompensationBonusLow1(t *testing.T) {
+	o := mustRun(t, CompensationBonus{}, deviate(0.5, 1), paperRate)
+	inc := o.RealLatency/78.431372549 - 1
+	if math.Abs(inc-0.11) > 0.01 {
+		t.Errorf("Low1 latency increase = %.3f, want ~0.11 (paper: about 11%%)", inc)
+	}
+	// C1's utility is ~45% below True1.
+	trueO := mustRun(t, CompensationBonus{}, Truthful(paperTs()), paperRate)
+	drop := 1 - o.Utility[0]/trueO.Utility[0]
+	if math.Abs(drop-0.45) > 0.01 {
+		t.Errorf("Low1 utility drop = %.3f, want ~0.45 (paper: 45%%)", drop)
+	}
+	// Other computers get lower utilities than in True1 (paper, Fig 5).
+	for i := 1; i < 16; i++ {
+		if o.Utility[i] >= trueO.Utility[i] {
+			t.Errorf("Low1: C%d utility %v not below True1 %v", i+1, o.Utility[i], trueO.Utility[i])
+		}
+	}
+}
+
+func TestCompensationBonusHigh1(t *testing.T) {
+	o := mustRun(t, CompensationBonus{}, deviate(3, 3), paperRate)
+	trueO := mustRun(t, CompensationBonus{}, Truthful(paperTs()), paperRate)
+	// C1's utility is ~62% below True1 (paper, Fig 4).
+	drop := 1 - o.Utility[0]/trueO.Utility[0]
+	if math.Abs(drop-0.62) > 0.01 {
+		t.Errorf("High1 utility drop = %.3f, want ~0.62 (paper: 62%%)", drop)
+	}
+	// Other computers get higher utilities than in True1.
+	for i := 1; i < 16; i++ {
+		if o.Utility[i] <= trueO.Utility[i] {
+			t.Errorf("High1: C%d utility %v not above True1 %v", i+1, o.Utility[i], trueO.Utility[i])
+		}
+	}
+}
+
+func TestCompensationBonusDeviationsAllWorseThanTruth(t *testing.T) {
+	trueO := mustRun(t, CompensationBonus{}, Truthful(paperTs()), paperRate)
+	// All eight paper experiments (and then some) leave C1 strictly
+	// worse off than truth-telling. Execution factors are >= 1 per the
+	// paper's ť >= t restriction.
+	for _, d := range [][2]float64{
+		{1, 2}, {3, 3}, {3, 1}, {3, 2}, {3, 4}, {0.5, 1}, {0.5, 2},
+		{1.1, 1}, {0.9, 1}, {2, 1}, {10, 1}, {0.1, 1}, {1, 1.01},
+	} {
+		o := mustRun(t, CompensationBonus{}, deviate(d[0], d[1]), paperRate)
+		if o.Utility[0] >= trueO.Utility[0]-1e-9 {
+			t.Errorf("deviation (bid %vt, exec %vt): utility %v not below truthful %v",
+				d[0], d[1], o.Utility[0], trueO.Utility[0])
+		}
+	}
+}
+
+func TestCompensationBonusFrugality(t *testing.T) {
+	o := mustRun(t, CompensationBonus{}, Truthful(paperTs()), paperRate)
+	r := o.FrugalityRatio()
+	// Paper Figure 6: total payment at most ~2.5x total valuation,
+	// never below 1 (voluntary participation).
+	if r < 1 || r > 2.5 {
+		t.Errorf("frugality ratio = %v, want within [1, 2.5]", r)
+	}
+}
+
+func TestCompensationBonusPaymentDecomposition(t *testing.T) {
+	o := mustRun(t, CompensationBonus{}, deviate(3, 4), paperRate)
+	for i := range o.Payment {
+		if !numeric.AlmostEqual(o.Payment[i], o.Compensation[i]+o.Bonus[i], 1e-12, 1e-12) {
+			t.Errorf("P[%d] != C+B", i)
+		}
+	}
+}
+
+// Property: voluntary participation holds for arbitrary truthful
+// agents facing arbitrary opponent bids (Theorem 3.2).
+func TestVoluntaryParticipationProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		n := 2 + r.Intn(8)
+		agents := make([]Agent, n)
+		for i := range agents {
+			tv := 0.2 + 10*r.Float64()
+			bid := 0.2 + 10*r.Float64() // others may lie arbitrarily
+			agents[i] = Agent{True: tv, Bid: bid, Exec: bid}
+		}
+		// Agent 0 is truthful.
+		agents[0].Bid = agents[0].True
+		agents[0].Exec = agents[0].True
+		rate := 0.5 + 30*r.Float64()
+		o, err := CompensationBonus{}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		return o.Utility[0] >= -1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truth-telling is a dominant strategy (Theorem 3.1) —
+// random unilateral deviations with ť >= t never beat truth, for
+// random opponent bid profiles.
+func TestTruthfulnessProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		n := 2 + r.Intn(6)
+		agents := make([]Agent, n)
+		for i := range agents {
+			tv := 0.2 + 5*r.Float64()
+			bid := 0.2 + 5*r.Float64()
+			agents[i] = Agent{True: tv, Bid: bid, Exec: bid}
+		}
+		rate := 0.5 + 20*r.Float64()
+		// Truthful play for agent 0.
+		agents[0].Bid, agents[0].Exec = agents[0].True, agents[0].True
+		truthO, err := CompensationBonus{}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		// Random deviation with ť >= t.
+		agents[0].Bid = 0.2 + 5*r.Float64()
+		agents[0].Exec = agents[0].True * (1 + 2*r.Float64())
+		devO, err := CompensationBonus{}.Run(agents, rate)
+		if err != nil {
+			return false
+		}
+		return devO.Utility[0] <= truthO.Utility[0]+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMechanismErrors(t *testing.T) {
+	mechanisms := []Mechanism{
+		CompensationBonus{}, BidCompensationBonus{}, VCG{}, ArcherTardos{}, Classical{},
+	}
+	for _, m := range mechanisms {
+		if _, err := m.Run([]Agent{{True: 1, Bid: 1, Exec: 1}}, 5); err == nil {
+			t.Errorf("%s accepted a single agent", m.Name())
+		}
+		bad := []Agent{{True: 1, Bid: -1, Exec: 1}, {True: 1, Bid: 1, Exec: 1}}
+		if _, err := m.Run(bad, 5); err == nil {
+			t.Errorf("%s accepted a negative bid", m.Name())
+		}
+		good := Truthful([]float64{1, 2})
+		if _, err := m.Run(good, -5); err == nil {
+			t.Errorf("%s accepted a negative rate", m.Name())
+		}
+		if _, err := m.Run(good, math.NaN()); err == nil {
+			t.Errorf("%s accepted a NaN rate", m.Name())
+		}
+	}
+}
+
+func TestTruthfulConstructor(t *testing.T) {
+	agents := Truthful([]float64{1, 2, 3})
+	if len(agents) != 3 {
+		t.Fatalf("len = %d", len(agents))
+	}
+	if agents[0].Name != "C1" || agents[2].Name != "C3" {
+		t.Errorf("names = %v, %v", agents[0].Name, agents[2].Name)
+	}
+	for _, a := range agents {
+		if a.Bid != a.True || a.Exec != a.True {
+			t.Errorf("agent %v not truthful", a)
+		}
+	}
+}
+
+func TestOutcomeAggregates(t *testing.T) {
+	o := &Outcome{
+		Payment:   []float64{3, -1},
+		Valuation: []float64{-2, -4},
+	}
+	if got := o.TotalPayment(); got != 2 {
+		t.Errorf("TotalPayment = %v", got)
+	}
+	if got := o.TotalValuation(); got != 6 {
+		t.Errorf("TotalValuation = %v", got)
+	}
+	if got := o.FrugalityRatio(); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("FrugalityRatio = %v", got)
+	}
+	empty := &Outcome{}
+	if !math.IsNaN(empty.FrugalityRatio()) {
+		t.Error("empty FrugalityRatio should be NaN")
+	}
+}

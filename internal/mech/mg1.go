@@ -1,0 +1,76 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alloc"
+	"repro/internal/latency"
+)
+
+// MG1Model treats each computer as an M/G/1 queue with service-time
+// squared coefficient of variation CS2 shared across the system; the
+// private value is t = 1/mu (mean service time) and the per-job
+// latency is the Pollaczek-Khinchine mean sojourn time. CS2 = 1
+// recovers MM1Model; CS2 = 0 models deterministic (M/D/1) service.
+// It demonstrates that the mechanism layer is generic over any convex
+// latency family the allocation solver can handle.
+type MG1Model struct {
+	// CS2 is the squared coefficient of variation of service times.
+	CS2 float64
+}
+
+// Name implements Model.
+func (m MG1Model) Name() string { return fmt.Sprintf("mg1(cs2=%g)", m.CS2) }
+
+func (m MG1Model) functions(values []float64) ([]latency.Function, error) {
+	if m.CS2 < 0 || math.IsNaN(m.CS2) {
+		return nil, fmt.Errorf("mech: invalid CS2 %g", m.CS2)
+	}
+	fns := make([]latency.Function, len(values))
+	for i, v := range values {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mech: invalid value values[%d] = %g", i, v)
+		}
+		fns[i] = latency.MG1{Mu: 1 / v, CS2: m.CS2}
+	}
+	return fns, nil
+}
+
+// Alloc implements Model via the generic KKT solver.
+func (m MG1Model) Alloc(values []float64, rate float64) ([]float64, error) {
+	fns, err := m.functions(values)
+	if err != nil {
+		return nil, err
+	}
+	return alloc.Optimal(fns, rate)
+}
+
+// Latency implements Model: the PK sojourn time.
+func (m MG1Model) Latency(value, x float64) float64 {
+	return latency.MG1{Mu: 1 / value, CS2: m.CS2}.Latency(x)
+}
+
+// TotalCost implements Model.
+func (m MG1Model) TotalCost(value, x float64) float64 {
+	return latency.MG1{Mu: 1 / value, CS2: m.CS2}.Total(x)
+}
+
+// OptimalTotal implements Model.
+func (m MG1Model) OptimalTotal(values []float64, rate float64) (float64, error) {
+	if len(values) == 0 {
+		if rate == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	fns, err := m.functions(values)
+	if err != nil {
+		return 0, err
+	}
+	x, err := alloc.Optimal(fns, rate)
+	if err != nil {
+		return 0, err
+	}
+	return alloc.TotalLatency(fns, x), nil
+}

@@ -1,0 +1,103 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestMG1ModelReducesToMM1WhenCS2Is1(t *testing.T) {
+	ts := []float64{0.1, 0.2, 0.4}
+	agents := Truthful(ts)
+	const rate = 5
+	mm1, err := CompensationBonus{Model: MM1Model{}}.Run(agents, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg1, err := CompensationBonus{Model: MG1Model{CS2: 1}}.Run(agents, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M/M/1 sojourn is 1/(mu-x); PK with CS2=1 is the same function,
+	// so allocations and payments must coincide.
+	for i := range agents {
+		if !numeric.AlmostEqual(mg1.Alloc[i], mm1.Alloc[i], 1e-6, 1e-9) {
+			t.Errorf("alloc[%d]: mg1 %v vs mm1 %v", i, mg1.Alloc[i], mm1.Alloc[i])
+		}
+		if !numeric.AlmostEqual(mg1.Payment[i], mm1.Payment[i], 1e-5, 1e-7) {
+			t.Errorf("payment[%d]: mg1 %v vs mm1 %v", i, mg1.Payment[i], mm1.Payment[i])
+		}
+	}
+}
+
+func TestMG1ModelDeterministicServiceBeatsExponential(t *testing.T) {
+	// M/D/1 (CS2=0) has less queueing, so its optimal total latency is
+	// below M/M/1's for the same rates.
+	ts := []float64{0.1, 0.2, 0.4}
+	const rate = 5
+	md1, err := MG1Model{CS2: 0}.OptimalTotal(ts, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, err := MM1Model{}.OptimalTotal(ts, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md1 >= mm1 {
+		t.Errorf("M/D/1 optimum %v not below M/M/1 %v", md1, mm1)
+	}
+	// And heavier service variability costs more.
+	heavy, err := MG1Model{CS2: 4}.OptimalTotal(ts, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy <= mm1 {
+		t.Errorf("CS2=4 optimum %v not above M/M/1 %v", heavy, mm1)
+	}
+}
+
+func TestMG1ModelTruthfulness(t *testing.T) {
+	ts := []float64{0.1, 0.2, 0.4}
+	const rate = 4
+	m := CompensationBonus{Model: MG1Model{CS2: 2}}
+	truth, err := m.Run(Truthful(ts), rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range truth.Utility {
+		if u < -1e-6 {
+			t.Errorf("truthful agent %d utility %v", i, u)
+		}
+	}
+	for _, d := range [][2]float64{{1.3, 1}, {0.8, 1}, {1, 1.4}, {1.2, 1.2}} {
+		dev := Truthful(ts)
+		dev[0].Bid = ts[0] * d[0]
+		dev[0].Exec = ts[0] * d[1]
+		o, err := m.Run(dev, rate)
+		if err != nil {
+			t.Fatalf("deviation %v: %v", d, err)
+		}
+		if o.Utility[0] > truth.Utility[0]+1e-6 {
+			t.Errorf("MG1 deviation %v beats truth: %v > %v", d, o.Utility[0], truth.Utility[0])
+		}
+	}
+}
+
+func TestMG1ModelValidation(t *testing.T) {
+	if _, err := (MG1Model{CS2: -1}).Alloc([]float64{0.1, 0.2}, 1); err == nil {
+		t.Error("expected error for negative CS2")
+	}
+	if _, err := (MG1Model{CS2: math.NaN()}).Alloc([]float64{0.1, 0.2}, 1); err == nil {
+		t.Error("expected error for NaN CS2")
+	}
+	if _, err := (MG1Model{}).Alloc([]float64{-0.1, 0.2}, 1); err == nil {
+		t.Error("expected error for negative value")
+	}
+	if v, err := (MG1Model{}).OptimalTotal(nil, 0); err != nil || v != 0 {
+		t.Errorf("empty zero-rate optimum = %v, %v", v, err)
+	}
+	if v, err := (MG1Model{}).OptimalTotal(nil, 1); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("empty positive-rate optimum = %v, %v", v, err)
+	}
+}

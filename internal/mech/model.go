@@ -1,0 +1,177 @@
+// Package mech implements the algorithmic mechanism design layer of
+// the repository: the paper's load balancing mechanism with
+// verification (a compensation-and-bonus mechanism), plus baselines —
+// classical obedient allocation, a no-verification compensation-and-
+// bonus variant, VCG/Clarke, and the Archer-Tardos one-parameter
+// mechanism — all parameterized by a latency Model so they work for
+// linear and M/M/1 systems alike.
+//
+// Conventions. Every agent is a one-parameter agent whose private type
+// is the latency parameter t (bigger t = slower computer). An agent
+// reports a bid b, receives load x from the allocation algorithm, and
+// then executes with an execution value ť (ť >= t in legal plays: a
+// computer can run slower than its capacity, never faster).
+//
+// Following the paper, an agent's valuation is the negation of *its
+// latency* — the per-job latency l_i(x_i) = ť_i*x_i for the linear
+// model — while the system objective is the *total* latency
+// L(x) = sum_i x_i*l_i(x_i). This asymmetry is deliberate and is what
+// the paper's own experiment Low2 pins down: only with per-job
+// valuations does C1's payment go negative there, as Figure 2 of the
+// paper shows. Mechanisms that are instead defined in the utilitarian
+// convention (valuations = total-latency shares) say so explicitly and
+// mark their outcomes with ValuationTotalLatency.
+package mech
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/alloc"
+	"repro/internal/latency"
+	"repro/internal/numeric"
+)
+
+// Model abstracts the latency family the mechanism operates on. Values
+// are the one-dimensional agent types: for the linear model the value
+// is t in l(x) = t*x; for the M/M/1 model the value is t = 1/mu, the
+// mean service time.
+type Model interface {
+	// Name identifies the model ("linear", "mm1", ...).
+	Name() string
+	// Alloc returns the total-latency-minimizing feasible allocation
+	// for the given reported values.
+	Alloc(values []float64, rate float64) ([]float64, error)
+	// Latency returns the per-job latency l(x) of a computer with the
+	// given value carrying load x. The paper's agent valuation is the
+	// negation of this quantity.
+	Latency(value, x float64) float64
+	// TotalCost returns x*l(x), the computer's contribution to the
+	// system objective.
+	TotalCost(value, x float64) float64
+	// OptimalTotal returns the minimum achievable total latency for
+	// the given values and rate. An empty system has optimal total 0
+	// at rate 0 and +Inf at positive rate.
+	OptimalTotal(values []float64, rate float64) (float64, error)
+}
+
+// OneParameterModel is a Model whose total cost factors as
+// TotalCost(t, x) = t * Work(x) with Work strictly increasing. The
+// Archer-Tardos mechanism requires this factorization.
+type OneParameterModel interface {
+	Model
+	// Work returns the work curve w(x) with TotalCost(t, x) = t*w(x).
+	Work(x float64) float64
+}
+
+// LinearModel is the paper's model: per-job latency l(x) = t*x, total
+// cost t*x^2.
+type LinearModel struct{}
+
+// Name implements Model.
+func (LinearModel) Name() string { return "linear" }
+
+// Alloc implements Model using the PR algorithm.
+func (LinearModel) Alloc(values []float64, rate float64) ([]float64, error) {
+	return alloc.Proportional(values, rate)
+}
+
+// Latency implements Model: l(x) = t*x.
+func (LinearModel) Latency(value, x float64) float64 { return value * x }
+
+// TotalCost implements Model: t*x^2.
+func (LinearModel) TotalCost(value, x float64) float64 { return value * x * x }
+
+// OptimalTotal implements Model with the closed form R^2 / sum(1/t).
+func (LinearModel) OptimalTotal(values []float64, rate float64) (float64, error) {
+	if len(values) == 0 {
+		if rate == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	for i, v := range values {
+		if v <= 0 || math.IsNaN(v) {
+			return 0, fmt.Errorf("mech: invalid value values[%d] = %g", i, v)
+		}
+	}
+	return alloc.OptimalLatencyLinear(values, rate), nil
+}
+
+// Work implements OneParameterModel: w(x) = x^2.
+func (LinearModel) Work(x float64) float64 { return x * x }
+
+// MM1Model treats each computer as an M/M/1 queue whose private value
+// is t = 1/mu (mean service time); per-job latency is the M/M/1
+// sojourn time 1/(mu-x). This is the model of the companion CLUSTER
+// 2002 paper.
+type MM1Model struct{}
+
+// Name implements Model.
+func (MM1Model) Name() string { return "mm1" }
+
+// functions converts values t into MM1 latency functions with mu=1/t.
+func (MM1Model) functions(values []float64) ([]latency.Function, error) {
+	fns := make([]latency.Function, len(values))
+	for i, v := range values {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mech: invalid value values[%d] = %g", i, v)
+		}
+		fns[i] = latency.MM1{Mu: 1 / v}
+	}
+	return fns, nil
+}
+
+// Alloc implements Model via the generic KKT solver.
+func (m MM1Model) Alloc(values []float64, rate float64) ([]float64, error) {
+	fns, err := m.functions(values)
+	if err != nil {
+		return nil, err
+	}
+	return alloc.Optimal(fns, rate)
+}
+
+// Latency implements Model: 1/(mu-x) with mu = 1/value; +Inf at or
+// beyond capacity.
+func (MM1Model) Latency(value, x float64) float64 {
+	mu := 1 / value
+	if x < 0 || x >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - x)
+}
+
+// TotalCost implements Model: x/(mu-x).
+func (m MM1Model) TotalCost(value, x float64) float64 {
+	return x * m.Latency(value, x)
+}
+
+// OptimalTotal implements Model.
+func (m MM1Model) OptimalTotal(values []float64, rate float64) (float64, error) {
+	if len(values) == 0 {
+		if rate == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	fns, err := m.functions(values)
+	if err != nil {
+		return 0, err
+	}
+	x, err := alloc.Optimal(fns, rate)
+	if err != nil {
+		return 0, err
+	}
+	return alloc.TotalLatency(fns, x), nil
+}
+
+// totalMixedCost returns sum_i TotalCost(values[i], x[i]).
+func totalMixedCost(m Model, values, x []float64) float64 {
+	return numeric.SumFunc(len(x), func(i int) float64 { return m.TotalCost(values[i], x[i]) })
+}
+
+// ErrNeedTwoAgents is returned by mechanisms that compute exclusion
+// ("system without agent i") quantities, which are undefined for a
+// single computer carrying positive load.
+var ErrNeedTwoAgents = errors.New("mech: mechanism requires at least two agents")

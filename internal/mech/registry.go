@@ -1,0 +1,53 @@
+package mech
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps short mechanism names to constructors over a model
+// (nil model = linear default).
+var registry = map[string]func(Model) (Mechanism, error){
+	"verification": func(m Model) (Mechanism, error) {
+		return CompensationBonus{Model: m}, nil
+	},
+	"noverification": func(m Model) (Mechanism, error) {
+		return BidCompensationBonus{Model: m}, nil
+	},
+	"vcg": func(m Model) (Mechanism, error) {
+		return VCG{Model: m}, nil
+	},
+	"archertardos": func(m Model) (Mechanism, error) {
+		if m == nil {
+			return ArcherTardos{}, nil
+		}
+		opm, ok := m.(OneParameterModel)
+		if !ok {
+			return nil, fmt.Errorf("mech: archer-tardos requires a one-parameter model, got %s", m.Name())
+		}
+		return ArcherTardos{Model: opm}, nil
+	},
+	"classical": func(m Model) (Mechanism, error) {
+		return Classical{Model: m}, nil
+	},
+}
+
+// Names returns the registered mechanism names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName constructs a registered mechanism over the given model (nil
+// model = the linear default).
+func ByName(name string, m Model) (Mechanism, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("mech: unknown mechanism %q (known: %v)", name, Names())
+	}
+	return ctor(m)
+}

@@ -1,0 +1,49 @@
+package mech
+
+import "testing"
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := []string{"archertardos", "classical", "noverification", "vcg", "verification"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	agents := Truthful([]float64{1, 2, 5})
+	for _, name := range Names() {
+		m, err := ByName(name, nil)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if _, err := m.Run(agents, 6); err != nil {
+			t.Errorf("%s run: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", nil); err == nil {
+		t.Error("expected error for unknown mechanism")
+	}
+	// Model threading.
+	m, err := ByName("verification", MM1Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := m.Run(Truthful([]float64{0.1, 0.2}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Model != "mm1" {
+		t.Errorf("model = %q", o.Model)
+	}
+	// AT rejects non-one-parameter models.
+	if _, err := ByName("archertardos", MM1Model{}); err == nil {
+		t.Error("archertardos accepted a non-factoring model")
+	}
+}

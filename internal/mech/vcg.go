@@ -1,0 +1,74 @@
+package mech
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/numeric"
+)
+
+// VCG is the Vickrey-Clarke-Groves mechanism with the Clarke pivot
+// rule, computed on bids alone — the textbook baseline *without*
+// verification. VCG requires the objective to be the sum of the
+// agents' valuations, so it is stated in the utilitarian convention
+// (ValuationTotalLatency): each agent's cost is its total-latency
+// share x_i*l_i(x_i) and
+//
+//	P_i = L*(b_{-i}) - sum_{j != i} TotalCost(b_j, x_j(b)).
+//
+// VCG is dominant-strategy truthful in the bids, but because payments
+// are fixed before execution, a slow executor keeps its payment; the
+// latency increase it causes is punished only through its own
+// valuation, never with the amplified penalty the verification
+// mechanism imposes. The ablation benchmarks quantify the difference.
+type VCG struct {
+	// Model is the latency model; the zero value uses LinearModel.
+	Model Model
+}
+
+func (m VCG) model() Model {
+	if m.Model == nil {
+		return LinearModel{}
+	}
+	return m.Model
+}
+
+// Name implements Mechanism.
+func (m VCG) Name() string { return "vcg-clarke" }
+
+// Run implements Mechanism.
+func (m VCG) Run(agents []Agent, rate float64) (*Outcome, error) {
+	if len(agents) < 2 {
+		return nil, ErrNeedTwoAgents
+	}
+	if err := validateAgents(agents, rate); err != nil {
+		return nil, err
+	}
+	mdl := m.model()
+	bids := Bids(agents)
+	x, err := mdl.Alloc(bids, rate)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome(m.Name(), mdl, ValuationTotalLatency, agents, rate, x)
+	for i, a := range agents {
+		lExcl, err := exclusionModel(mdl, i).OptimalTotal(alloc.Exclude(bids, i), rate)
+		if err != nil {
+			return nil, fmt.Errorf("mech: exclusion optimum for agent %d: %w", i, err)
+		}
+		var others numeric.KahanSum
+		for j := range agents {
+			if j != i {
+				others.Add(mdl.TotalCost(bids[j], x[j]))
+			}
+		}
+		// Equivalent compensation-and-bonus presentation of Clarke:
+		// declared-cost reimbursement plus bid-based marginal surplus.
+		o.Compensation[i] = mdl.TotalCost(a.Bid, x[i])
+		o.Bonus[i] = lExcl - o.BidLatency
+		o.Payment[i] = lExcl - others.Value()
+		o.Valuation[i] = -mdl.TotalCost(a.Exec, x[i])
+		o.Utility[i] = o.Payment[i] + o.Valuation[i]
+	}
+	return o, nil
+}

@@ -1,0 +1,61 @@
+package numeric
+
+import "math"
+
+// Integrate returns the integral of f over [a, b] computed with
+// adaptive Simpson quadrature to absolute tolerance tol. It handles
+// a > b by sign reversal.
+func Integrate(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		return -Integrate(f, b, a, tol)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	fa, fb := f(a), f(b)
+	m := a + (b-a)/2
+	fm := f(m)
+	whole := simpson(a, b, fa, fm, fb)
+	return adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, 60)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := a + (b-a)/2
+	lm := a + (m-a)/2
+	rm := m + (b-m)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}
+
+// IntegrateToInf returns the integral of f over [a, +inf) by the
+// substitution x = a + t/(1-t), t in [0, 1), using adaptive Simpson on
+// the transformed integrand. f must decay fast enough for the integral
+// to exist (as the Archer-Tardos work curves in this repository do).
+func IntegrateToInf(f func(float64) float64, a, tol float64) float64 {
+	g := func(t float64) float64 {
+		if t >= 1 {
+			return 0
+		}
+		u := 1 - t
+		x := a + t/u
+		return f(x) / (u * u)
+	}
+	// Stop a hair short of 1 to avoid the singular endpoint; the
+	// integrand has been mapped so the tail contribution there is
+	// negligible for decaying f.
+	const end = 1 - 1e-12
+	return Integrate(g, 0, end, tol)
+}

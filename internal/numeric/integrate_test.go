@@ -1,0 +1,83 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg returns a shared testing/quick configuration with a
+// deterministic-ish cap on cases so property tests stay fast.
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60}
+}
+
+func TestIntegratePolynomial(t *testing.T) {
+	// int_0^1 x^2 dx = 1/3
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 1, 1e-12)
+	if math.Abs(got-1.0/3) > 1e-10 {
+		t.Errorf("integral = %v, want 1/3", got)
+	}
+}
+
+func TestIntegrateSine(t *testing.T) {
+	got := Integrate(math.Sin, 0, math.Pi, 1e-12)
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("integral of sin over [0,pi] = %v, want 2", got)
+	}
+}
+
+func TestIntegrateReversedLimits(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	fwd := Integrate(f, 0, 3, 1e-12)
+	rev := Integrate(f, 3, 0, 1e-12)
+	if math.Abs(fwd+rev) > 1e-12 {
+		t.Errorf("reversed limits: %v and %v are not negations", fwd, rev)
+	}
+}
+
+func TestIntegrateZeroWidth(t *testing.T) {
+	if got := Integrate(math.Exp, 2, 2, 1e-9); got != 0 {
+		t.Errorf("zero-width integral = %v, want 0", got)
+	}
+}
+
+func TestIntegrateToInfExponential(t *testing.T) {
+	// int_a^inf e^-x dx = e^-a
+	for _, a := range []float64{0, 0.5, 1, 3} {
+		got := IntegrateToInf(func(x float64) float64 { return math.Exp(-x) }, a, 1e-12)
+		want := math.Exp(-a)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("a=%v: tail integral = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestIntegrateToInfPowerLaw(t *testing.T) {
+	// int_b^inf 1/x^3 dx = 1/(2 b^2); this is exactly the Archer-Tardos
+	// tail shape for the linear latency model.
+	for _, b := range []float64{0.5, 1, 2, 10} {
+		got := IntegrateToInf(func(x float64) float64 { return 1 / (x * x * x) }, b, 1e-12)
+		want := 1 / (2 * b * b)
+		if math.Abs(got-want) > 1e-7*want+1e-12 {
+			t.Errorf("b=%v: tail integral = %v, want %v", b, got, want)
+		}
+	}
+}
+
+// Property: integration is additive over adjacent intervals.
+func TestIntegrateAdditive(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := NewRand(seed)
+		a := -5 + 10*r.Float64()
+		m := a + 5*r.Float64()
+		b := m + 5*r.Float64()
+		f := func(x float64) float64 { return math.Cos(x) + x*x/10 }
+		whole := Integrate(f, a, b, 1e-12)
+		parts := Integrate(f, a, m, 1e-12) + Integrate(f, m, b, 1e-12)
+		return AlmostEqual(whole, parts, 1e-8, 1e-8)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSqrt2(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect root = %v, want sqrt(2)", x)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	x, err := Bisect(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 {
+		t.Errorf("Bisect = %v, want endpoint 0", x)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentSqrt2(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Brent(f, 0, 2, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Errorf("Brent root = %v, want sqrt(2)", x)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	x, err := Brent(f, 0, 1, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dottie number.
+	if math.Abs(x-0.7390851332151607) > 1e-9 {
+		t.Errorf("Brent root = %v, want Dottie number", x)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, err := Brent(f, -3, 3, 1e-9); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+// Property: both root finders locate the root of a random monotone cubic.
+func TestRootFindersAgreeOnMonotoneCubic(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := NewRand(seed)
+		a := 0.1 + 5*r.Float64()  // positive leading coefficient
+		c := 0.1 + 5*r.Float64()  // positive linear coefficient => monotone
+		d := -10 + 20*r.Float64() // constant term
+		f := func(x float64) float64 { return a*x*x*x + c*x + d }
+		xb, err1 := Bisect(f, -100, 100, 1e-12)
+		xr, err2 := Brent(f, -100, 100, 1e-12)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(f(xb)) < 1e-6 && math.Abs(f(xr)) < 1e-6 &&
+			math.Abs(xb-xr) < 1e-6
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package numeric
+
+// KahanSum accumulates floating-point values with Neumaier's improved
+// Kahan compensation, keeping the running error independent of the
+// number of terms. The zero value is ready to use.
+type KahanSum struct {
+	sum  float64
+	comp float64
+}
+
+// Add accumulates v into the sum.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if abs(k.sum) >= abs(v) {
+		k.comp += (k.sum - t) + v
+	} else {
+		k.comp += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated sum accumulated so far.
+func (k *KahanSum) Value() float64 { return k.sum + k.comp }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Value()
+}
+
+// Dot returns the compensated dot product of a and b. It panics if the
+// slices have different lengths.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: Dot of slices with different lengths")
+	}
+	var k KahanSum
+	for i := range a {
+		k.Add(a[i] * b[i])
+	}
+	return k.Value()
+}
+
+// Mean returns the compensated arithmetic mean of xs, or 0 for an
+// empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// SumFunc returns the compensated sum of f(i) for i in [0, n).
+func SumFunc(n int, f func(i int) float64) float64 {
+	var k KahanSum
+	for i := 0; i < n; i++ {
+		k.Add(f(i))
+	}
+	return k.Value()
+}

@@ -1,0 +1,105 @@
+// Package parallel provides small, deterministic fan-out helpers for
+// the embarrassingly parallel workloads in this repository —
+// truthfulness grid searches, collusion scans, parameter sweeps and
+// Monte Carlo replications. Results land in their input slots, so
+// output order is deterministic regardless of scheduling; panics in
+// workers are captured and re-raised in the caller.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers returns the worker count to use: w if positive, otherwise
+// GOMAXPROCS.
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the given number of
+// workers (<= 0 means GOMAXPROCS). It blocks until every call
+// finishes. If any call panics, ForEach re-panics in the caller with
+// the first captured panic value.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+
+		panicOnce sync.Once
+		panicked  any
+	)
+	grab := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i, ok := grab()
+				if !ok {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel: worker panic: %v", panicked))
+	}
+}
+
+// Map applies fn to every index in [0, n) across workers and returns
+// the results in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr applies fn to every index and returns the results in index
+// order along with the first (lowest-index) error encountered. All
+// calls run to completion even when some fail.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, 8, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestForEachSingleWorkerSequential(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single worker out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for non-positive n")
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	ForEach(100, 0, func(int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Errorf("panic value %v", r)
+		}
+	}()
+	ForEach(50, 4, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMapOrder(t *testing.T) {
+	got := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	e7 := errors.New("seven")
+	e3 := errors.New("three")
+	_, err := MapErr(10, 4, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, e7
+		case 3:
+			return 0, e3
+		}
+		return i, nil
+	})
+	if err != e3 {
+		t.Errorf("err = %v, want the lowest-index error", err)
+	}
+	// All-success path.
+	out, err := MapErr(4, 2, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit worker count ignored")
+	}
+	if Workers(0) < 1 {
+		t.Error("default workers < 1")
+	}
+}

@@ -1,0 +1,101 @@
+package payproto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+)
+
+// Auditor is one member of the redundant payment-computation panel. An
+// honest auditor recomputes the mechanism's payment vector from the
+// public round data; a corrupted one perturbs it.
+type Auditor struct {
+	// ID labels the auditor.
+	ID string
+	// Corrupt makes the auditor report a perturbed vector.
+	Corrupt bool
+	// Perturb is the multiplicative distortion a corrupt auditor
+	// applies (default 1.1 when zero).
+	Perturb float64
+}
+
+// AuditResult is the consensus outcome of a panel vote.
+type AuditResult struct {
+	// Payments is the agreed payment vector.
+	Payments []float64
+	// Dissenters lists auditors whose vectors disagreed with the
+	// consensus.
+	Dissenters []string
+}
+
+// ErrNoConsensus is returned when no strict majority of auditors
+// agrees on a payment vector.
+var ErrNoConsensus = errors.New("payproto: no majority consensus among auditors")
+
+// AuditedPayments has every auditor independently recompute the
+// verification mechanism's payments and majority-votes on the result.
+// Vectors within tol (component-wise absolute) are considered equal.
+// It tolerates any strict minority of corrupted auditors and returns
+// ErrNoConsensus otherwise.
+func AuditedPayments(agents []mech.Agent, rate float64, auditors []Auditor, tol float64) (*AuditResult, error) {
+	if len(auditors) == 0 {
+		return nil, errors.New("payproto: no auditors")
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	mechanism := mech.CompensationBonus{}
+	vectors := make([][]float64, len(auditors))
+	for i, a := range auditors {
+		o, err := mechanism.Run(agents, rate)
+		if err != nil {
+			return nil, fmt.Errorf("payproto: auditor %s: %w", a.ID, err)
+		}
+		v := append([]float64(nil), o.Payment...)
+		if a.Corrupt {
+			p := a.Perturb
+			if p == 0 {
+				p = 1.1
+			}
+			for j := range v {
+				v[j] *= p
+			}
+		}
+		vectors[i] = v
+	}
+
+	equal := func(a, b []float64) bool {
+		for j := range a {
+			if !numeric.AlmostEqual(a[j], b[j], 0, tol) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Group identical vectors and find a strict majority.
+	best, bestCount := -1, 0
+	counts := make([]int, len(vectors))
+	for i := range vectors {
+		for j := range vectors {
+			if equal(vectors[i], vectors[j]) {
+				counts[i]++
+			}
+		}
+		if counts[i] > bestCount {
+			best, bestCount = i, counts[i]
+		}
+	}
+	if bestCount*2 <= len(auditors) {
+		return nil, ErrNoConsensus
+	}
+	res := &AuditResult{Payments: vectors[best]}
+	for i, a := range auditors {
+		if !equal(vectors[i], vectors[best]) {
+			res.Dissenters = append(res.Dissenters, a.ID)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package payproto
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Commitment is a hiding, binding commitment to a bid: the agent
+// publishes Digest = SHA-256(salt || value) before the bidding
+// deadline and reveals (salt, value) afterwards. Sealed bidding
+// removes the coordinator's ability to leak early bids to late
+// bidders — a practical hardening of the paper's one-shot protocol.
+type Commitment struct {
+	// Digest is the published commitment.
+	Digest [32]byte
+}
+
+// Opening is the reveal message for a commitment.
+type Opening struct {
+	// Salt is the 32-byte blinding value.
+	Salt [32]byte
+	// Value is the committed bid.
+	Value float64
+}
+
+// Commit creates a commitment to value with fresh randomness from
+// rng. It returns the commitment (publish now) and the opening (keep
+// private, reveal later).
+func Commit(value float64, rng *numeric.Rand) (Commitment, Opening, error) {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return Commitment{}, Opening{}, fmt.Errorf("payproto: cannot commit to %g", value)
+	}
+	if rng == nil {
+		return Commitment{}, Opening{}, errors.New("payproto: nil rng")
+	}
+	var op Opening
+	op.Value = value
+	for i := 0; i < 32; i += 8 {
+		binary.LittleEndian.PutUint64(op.Salt[i:], rng.Uint64())
+	}
+	return Commitment{Digest: digest(op)}, op, nil
+}
+
+// digest computes SHA-256(salt || value-bits).
+func digest(op Opening) [32]byte {
+	var buf [40]byte
+	copy(buf[:32], op.Salt[:])
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(op.Value))
+	return sha256.Sum256(buf[:])
+}
+
+// Verify reports whether the opening matches the commitment, in
+// constant time over the digest comparison.
+func (c Commitment) Verify(op Opening) bool {
+	d := digest(op)
+	return subtle.ConstantTimeCompare(c.Digest[:], d[:]) == 1
+}
+
+// SealedRound runs a commit-reveal bidding round: every agent first
+// commits, then reveals; openings that fail verification are
+// rejected. It returns the verified bids in agent order and an error
+// naming the first agent whose reveal did not match its commitment.
+func SealedRound(commitments []Commitment, openings []Opening) ([]float64, error) {
+	if len(commitments) != len(openings) {
+		return nil, fmt.Errorf("payproto: %d openings for %d commitments",
+			len(openings), len(commitments))
+	}
+	bids := make([]float64, len(openings))
+	for i, op := range openings {
+		if !commitments[i].Verify(op) {
+			return nil, fmt.Errorf("payproto: agent %d reveal does not match its commitment", i)
+		}
+		bids[i] = op.Value
+	}
+	return bids, nil
+}

@@ -1,0 +1,108 @@
+package payproto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestCommitVerifyRoundTrip(t *testing.T) {
+	rng := numeric.NewRand(1)
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		v := -100 + 200*r.Float64()
+		c, op, err := Commit(v, rng)
+		if err != nil {
+			return false
+		}
+		return c.Verify(op) && op.Value == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommitmentIsBinding(t *testing.T) {
+	rng := numeric.NewRand(2)
+	c, op, err := Commit(1.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Changing the value breaks verification.
+	forged := op
+	forged.Value = 3.0
+	if c.Verify(forged) {
+		t.Error("commitment accepted a different value")
+	}
+	// Changing the salt breaks verification.
+	forged = op
+	forged.Salt[0] ^= 1
+	if c.Verify(forged) {
+		t.Error("commitment accepted a different salt")
+	}
+}
+
+func TestCommitmentIsHiding(t *testing.T) {
+	// Same value, different randomness -> different digests: the
+	// digest reveals nothing recognizable about the value.
+	rng := numeric.NewRand(3)
+	c1, _, err := Commit(2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := Commit(2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Digest == c2.Digest {
+		t.Error("commitments to the same value are identical — not hiding")
+	}
+}
+
+func TestCommitErrors(t *testing.T) {
+	rng := numeric.NewRand(4)
+	if _, _, err := Commit(math.NaN(), rng); err == nil {
+		t.Error("expected error for NaN")
+	}
+	if _, _, err := Commit(math.Inf(1), rng); err == nil {
+		t.Error("expected error for Inf")
+	}
+	if _, _, err := Commit(1, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestSealedRound(t *testing.T) {
+	rng := numeric.NewRand(5)
+	values := []float64{1, 2, 5, 10}
+	commits := make([]Commitment, len(values))
+	opens := make([]Opening, len(values))
+	for i, v := range values {
+		c, op, err := Commit(v, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits[i], opens[i] = c, op
+	}
+	bids, err := SealedRound(commits, opens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if bids[i] != values[i] {
+			t.Errorf("bid[%d] = %v, want %v", i, bids[i], values[i])
+		}
+	}
+	// A cheater who tries to change its bid after seeing others is
+	// caught.
+	opens[2].Value = 0.1
+	if _, err := SealedRound(commits, opens); err == nil {
+		t.Error("sealed round accepted a mismatched reveal")
+	}
+	// Length mismatch.
+	if _, err := SealedRound(commits[:2], opens[:3]); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}

@@ -1,0 +1,106 @@
+// Package payproto implements the paper's stated future work:
+// "distributed handling of payments and the agents' privacy". It
+// provides two building blocks:
+//
+//   - additive secret sharing over the Mersenne prime field 2^61-1,
+//     with a secure-sum protocol that lets the coordinator learn only
+//     the aggregate sum(1/b_i) needed by the PR algorithm, never an
+//     individual bid, as long as at least one share server is honest;
+//   - redundant payment computation by a panel of auditors with
+//     majority voting, tolerating any minority of corrupted auditors.
+package payproto
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P = (1 << 61) - 1
+
+// scale is the fixed-point scale for encoding real values into the
+// field: ~9 decimal digits of fraction.
+const scale = 1 << 30
+
+// addMod returns (a + b) mod P for a, b < P.
+func addMod(a, b uint64) uint64 {
+	s := a + b // < 2^62, no overflow
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// subMod returns (a - b) mod P for a, b < P.
+func subMod(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// randField draws a uniform field element.
+func randField(rng *numeric.Rand) uint64 {
+	for {
+		v := rng.Uint64() & ((1 << 61) - 1) // 61 uniform bits
+		if v < P {
+			return v
+		}
+	}
+}
+
+// Encode converts a nonnegative real value into a fixed-point field
+// element. Values must fit: v*scale < P.
+func Encode(v float64) (uint64, error) {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("payproto: cannot encode %g", v)
+	}
+	x := v * scale
+	if x >= P {
+		return 0, fmt.Errorf("payproto: value %g too large to encode", v)
+	}
+	return uint64(math.Round(x)), nil
+}
+
+// Decode converts a fixed-point field element back to a real value.
+// The element is interpreted as a nonnegative quantity (no wraparound
+// handling), which suffices for sums of encoded nonnegative values.
+func Decode(x uint64) float64 { return float64(x) / scale }
+
+// Share splits a field element into m additive shares that are
+// individually uniform: any m-1 of them reveal nothing about the
+// secret. It panics if m < 2 or the secret is out of range.
+func Share(secret uint64, m int, rng *numeric.Rand) []uint64 {
+	if m < 2 {
+		panic("payproto: need at least 2 shares")
+	}
+	if secret >= P {
+		panic("payproto: secret out of field range")
+	}
+	shares := make([]uint64, m)
+	var sum uint64
+	for i := 0; i < m-1; i++ {
+		shares[i] = randField(rng)
+		sum = addMod(sum, shares[i])
+	}
+	shares[m-1] = subMod(secret, sum)
+	return shares
+}
+
+// Reconstruct recombines additive shares into the secret.
+func Reconstruct(shares []uint64) (uint64, error) {
+	if len(shares) == 0 {
+		return 0, errors.New("payproto: no shares")
+	}
+	var sum uint64
+	for _, s := range shares {
+		if s >= P {
+			return 0, errors.New("payproto: share out of field range")
+		}
+		sum = addMod(sum, s)
+	}
+	return sum, nil
+}

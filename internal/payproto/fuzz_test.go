@@ -1,0 +1,71 @@
+package payproto
+
+import (
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// FuzzShareReconstruct checks the secret-sharing round trip for
+// arbitrary secrets and share counts.
+func FuzzShareReconstruct(f *testing.F) {
+	f.Add(uint64(0), uint(2), uint64(1))
+	f.Add(uint64(123456789), uint(5), uint64(42))
+	f.Add(uint64(P-1), uint(10), uint64(7))
+	f.Fuzz(func(t *testing.T, secret uint64, m uint, seed uint64) {
+		secret %= P
+		shares := int(m%14) + 2
+		out := Share(secret, shares, numeric.NewRand(seed))
+		got, err := Reconstruct(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("round trip %d -> %d with %d shares", secret, got, shares)
+		}
+		for _, s := range out {
+			if s >= P {
+				t.Fatalf("share %d out of field", s)
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecode checks fixed-point encoding stability.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.5)
+	f.Add(123456.789)
+	f.Fuzz(func(t *testing.T, v float64) {
+		enc, err := Encode(v)
+		if err != nil {
+			return // out-of-range inputs must error, not panic
+		}
+		dec := Decode(enc)
+		if diff := dec - v; diff > 1e-8 || diff < -1e-8 {
+			t.Fatalf("Encode/Decode drift: %v -> %v", v, dec)
+		}
+	})
+}
+
+// FuzzCommitVerify checks that commitments verify their own opening
+// and reject tampered values.
+func FuzzCommitVerify(f *testing.F) {
+	f.Add(1.0, uint64(1), 2.0)
+	f.Fuzz(func(t *testing.T, v float64, seed uint64, other float64) {
+		c, op, err := Commit(v, numeric.NewRand(seed))
+		if err != nil {
+			return
+		}
+		if !c.Verify(op) {
+			t.Fatal("own opening rejected")
+		}
+		if other != v {
+			forged := op
+			forged.Value = other
+			if c.Verify(forged) {
+				t.Fatalf("forged value %v accepted for commitment to %v", other, v)
+			}
+		}
+	})
+}

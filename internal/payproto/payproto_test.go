@@ -1,0 +1,267 @@
+package payproto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mech"
+	"repro/internal/numeric"
+)
+
+func TestFieldArithmetic(t *testing.T) {
+	if got := addMod(P-1, 1); got != 0 {
+		t.Errorf("addMod(P-1, 1) = %d, want 0", got)
+	}
+	if got := addMod(P-1, 2); got != 1 {
+		t.Errorf("addMod(P-1, 2) = %d, want 1", got)
+	}
+	if got := subMod(0, 1); got != P-1 {
+		t.Errorf("subMod(0, 1) = %d, want P-1", got)
+	}
+	if got := subMod(5, 3); got != 2 {
+		t.Errorf("subMod(5, 3) = %d, want 2", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		v := 1000 * r.Float64()
+		enc, err := Encode(v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Decode(enc)-v) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1), 1e20} {
+		if _, err := Encode(v); err == nil {
+			t.Errorf("Encode(%v) should fail", v)
+		}
+	}
+}
+
+func TestShareReconstruct(t *testing.T) {
+	rng := numeric.NewRand(1)
+	prop := func(seed uint64) bool {
+		r := numeric.NewRand(seed)
+		secret := randField(r)
+		m := 2 + r.Intn(8)
+		shares := Share(secret, m, rng)
+		if len(shares) != m {
+			return false
+		}
+		got, err := Reconstruct(shares)
+		return err == nil && got == secret
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharesIndependentOfSecret(t *testing.T) {
+	// The first m-1 shares are pure randomness: with the same RNG
+	// stream, two different secrets produce identical prefixes —
+	// exactly the statement that a coalition of m-1 servers (holding
+	// those shares) learns nothing.
+	shares1 := Share(12345, 5, numeric.NewRand(9))
+	shares2 := Share(98765432, 5, numeric.NewRand(9))
+	for i := 0; i < 4; i++ {
+		if shares1[i] != shares2[i] {
+			t.Fatalf("share %d depends on the secret", i)
+		}
+	}
+	if shares1[4] == shares2[4] {
+		t.Error("last share should differ for different secrets")
+	}
+}
+
+func TestSharePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Share(1, 1, numeric.NewRand(1)) },
+		func() { Share(P, 2, numeric.NewRand(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	if _, err := Reconstruct(nil); err == nil {
+		t.Error("expected error for no shares")
+	}
+	if _, err := Reconstruct([]uint64{P}); err == nil {
+		t.Error("expected error for out-of-range share")
+	}
+}
+
+func TestSecureSum(t *testing.T) {
+	values := []float64{1, 0.5, 0.2, 0.1, 0.1, 0.1}
+	tr, err := SecureSum(values, 3, numeric.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Sum-2.0) > 1e-7 {
+		t.Errorf("secure sum = %v, want 2", tr.Sum)
+	}
+	if len(tr.Partials) != 3 {
+		t.Errorf("partials = %d", len(tr.Partials))
+	}
+	// Partial sums individually reveal nothing recognizable: they are
+	// not equal to any prefix sums of the encoded inputs (overwhelming
+	// probability under random shares).
+	enc0, _ := Encode(values[0])
+	for s, p := range tr.Partials {
+		if p == enc0 {
+			t.Errorf("partial %d equals an input encoding — privacy leak", s)
+		}
+	}
+}
+
+func TestSecureSumErrors(t *testing.T) {
+	if _, err := SecureSum(nil, 3, nil); err == nil {
+		t.Error("expected error for no values")
+	}
+	if _, err := SecureSum([]float64{1}, 1, nil); err == nil {
+		t.Error("expected error for one server")
+	}
+	if _, err := SecureSum([]float64{-1}, 2, nil); err == nil {
+		t.Error("expected error for negative value")
+	}
+}
+
+func TestPrivateAllocationMatchesPR(t *testing.T) {
+	bids := []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10}
+	const rate = 20.0
+	x, s, err := PrivateAllocation(bids, rate, 4, numeric.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-5.1) > 1e-7 {
+		t.Errorf("aggregate = %v, want 5.1", s)
+	}
+	model := mech.LinearModel{}
+	want, err := model.Alloc(bids, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if math.Abs(sum-rate) > 1e-6 {
+		t.Errorf("allocation sums to %v, want %v", sum, rate)
+	}
+}
+
+func TestPrivateAllocationErrors(t *testing.T) {
+	if _, _, err := PrivateAllocation([]float64{1, 0}, 5, 3, nil); err == nil {
+		t.Error("expected error for zero bid")
+	}
+	if _, _, err := PrivateAllocation([]float64{1, 2}, -5, 3, nil); err == nil {
+		t.Error("expected error for negative rate")
+	}
+}
+
+func auditAgents() []mech.Agent {
+	return mech.Truthful([]float64{1, 2, 5, 10})
+}
+
+func TestAuditedPaymentsAllHonest(t *testing.T) {
+	auditors := []Auditor{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	res, err := AuditedPayments(auditAgents(), 8, auditors, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dissenters) != 0 {
+		t.Errorf("dissenters = %v, want none", res.Dissenters)
+	}
+	// Consensus equals the direct mechanism run.
+	o, err := mech.CompensationBonus{}.Run(auditAgents(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Payments {
+		if math.Abs(res.Payments[i]-o.Payment[i]) > 1e-12 {
+			t.Errorf("payment[%d] = %v, want %v", i, res.Payments[i], o.Payment[i])
+		}
+	}
+}
+
+func TestAuditedPaymentsToleratesMinority(t *testing.T) {
+	auditors := []Auditor{
+		{ID: "a"}, {ID: "b", Corrupt: true}, {ID: "c"},
+		{ID: "d", Corrupt: true, Perturb: 0.5}, {ID: "e"},
+	}
+	res, err := AuditedPayments(auditAgents(), 8, auditors, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dissenters) != 2 {
+		t.Errorf("dissenters = %v, want b and d", res.Dissenters)
+	}
+	seen := map[string]bool{}
+	for _, d := range res.Dissenters {
+		seen[d] = true
+	}
+	if !seen["b"] || !seen["d"] {
+		t.Errorf("dissenters = %v", res.Dissenters)
+	}
+}
+
+func TestAuditedPaymentsFailsOnMajorityCorruptDisagreeing(t *testing.T) {
+	// Corrupt auditors with *different* perturbations cannot form a
+	// majority either, so consensus fails.
+	auditors := []Auditor{
+		{ID: "a"},
+		{ID: "b", Corrupt: true, Perturb: 1.2},
+		{ID: "c", Corrupt: true, Perturb: 0.7},
+	}
+	if _, err := AuditedPayments(auditAgents(), 8, auditors, 1e-9); err != ErrNoConsensus {
+		t.Errorf("err = %v, want ErrNoConsensus", err)
+	}
+}
+
+func TestAuditedPaymentsColludingMajorityWins(t *testing.T) {
+	// Documented limitation: a colluding strict majority defeats the
+	// vote. The test pins the behaviour so it is explicit.
+	auditors := []Auditor{
+		{ID: "a"},
+		{ID: "b", Corrupt: true, Perturb: 1.5},
+		{ID: "c", Corrupt: true, Perturb: 1.5},
+	}
+	res, err := AuditedPayments(auditAgents(), 8, auditors, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dissenters) != 1 || res.Dissenters[0] != "a" {
+		t.Errorf("dissenters = %v, want the honest minority", res.Dissenters)
+	}
+}
+
+func TestAuditedPaymentsErrors(t *testing.T) {
+	if _, err := AuditedPayments(auditAgents(), 8, nil, 0); err == nil {
+		t.Error("expected error for empty panel")
+	}
+	bad := []mech.Agent{{True: 1, Bid: 1, Exec: 1}}
+	if _, err := AuditedPayments(bad, 8, []Auditor{{ID: "a"}}, 0); err == nil {
+		t.Error("expected error for invalid agents")
+	}
+}

@@ -1,0 +1,90 @@
+package payproto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// SumTranscript records a secure-sum run for inspection and testing.
+type SumTranscript struct {
+	// Shares[i][s] is agent i's share destined for server s. A real
+	// deployment would never gather these in one place; the transcript
+	// exists so tests can verify the privacy property.
+	Shares [][]uint64
+	// Partials[s] is server s's published partial sum.
+	Partials []uint64
+	// Sum is the reconstructed aggregate.
+	Sum float64
+}
+
+// SecureSum simulates the secure aggregation protocol: each of the n
+// agents splits its (fixed-point encoded) private value into
+// additive shares, one per server; each server publishes only the sum
+// of the shares it received; adding the partial sums reveals exactly
+// sum(values) and nothing else. With the PR algorithm the coordinator
+// only ever needs S = sum_j 1/b_j — each agent can then compute its
+// own allocation x_i = R/(b_i*S) locally without revealing b_i.
+//
+// servers must be at least 2; privacy holds against any coalition of
+// at most servers-1 servers.
+func SecureSum(values []float64, servers int, rng *numeric.Rand) (*SumTranscript, error) {
+	if len(values) == 0 {
+		return nil, errors.New("payproto: no values to aggregate")
+	}
+	if servers < 2 {
+		return nil, errors.New("payproto: need at least 2 servers")
+	}
+	if rng == nil {
+		rng = numeric.NewRand(1)
+	}
+	tr := &SumTranscript{
+		Shares:   make([][]uint64, len(values)),
+		Partials: make([]uint64, servers),
+	}
+	for i, v := range values {
+		enc, err := Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("payproto: agent %d: %w", i, err)
+		}
+		tr.Shares[i] = Share(enc, servers, rng)
+		for s, sh := range tr.Shares[i] {
+			tr.Partials[s] = addMod(tr.Partials[s], sh)
+		}
+	}
+	total, err := Reconstruct(tr.Partials)
+	if err != nil {
+		return nil, err
+	}
+	tr.Sum = Decode(total)
+	return tr, nil
+}
+
+// PrivateAllocation runs the privacy-preserving PR allocation: the
+// agents' inverse bids are aggregated with SecureSum, the coordinator
+// publishes S, and each agent derives its own load x_i = rate/(b_i*S).
+// The returned allocation is what the agents individually compute; the
+// coordinator never sees a bid.
+func PrivateAllocation(bids []float64, rate float64, servers int, rng *numeric.Rand) ([]float64, float64, error) {
+	if rate < 0 {
+		return nil, 0, fmt.Errorf("payproto: negative rate %g", rate)
+	}
+	inv := make([]float64, len(bids))
+	for i, b := range bids {
+		if b <= 0 {
+			return nil, 0, fmt.Errorf("payproto: invalid bid bids[%d] = %g", i, b)
+		}
+		inv[i] = 1 / b
+	}
+	tr, err := SecureSum(inv, servers, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := tr.Sum
+	x := make([]float64, len(bids))
+	for i, b := range bids {
+		x[i] = rate / (b * s)
+	}
+	return x, s, nil
+}

@@ -1,0 +1,142 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/mech"
+	"repro/internal/numeric"
+	"repro/internal/workload"
+)
+
+// RunMM1 executes a protocol round in the M/M/1 model: agents'
+// private values are mean service times t = 1/mu, execution happens on
+// real FCFS queues with exponential service, and verification inverts
+// the observed sojourn times (mean sojourn = 1/(mu - x)) to estimate
+// each agent's actual service rate. Payments use the verification
+// mechanism instantiated with MM1Model.
+//
+// This is the strongest end-to-end validation in the repository: the
+// queueing behaviour is simulated, not assumed, so the estimator sees
+// genuine queueing noise including correlated waiting times.
+func RunMM1(cfg Config) (*Result, error) {
+	n := len(cfg.Trues)
+	if n < 2 {
+		return nil, errors.New("protocol: need at least two agents")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("protocol: invalid rate %g", cfg.Rate)
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 50000
+	}
+	zth := cfg.ZThreshold
+	if zth <= 0 {
+		zth = 3
+	}
+	strategies := cfg.Strategies
+	if strategies == nil {
+		strategies = make([]Strategy, n)
+	}
+	if len(strategies) != n {
+		return nil, fmt.Errorf("protocol: %d strategies for %d agents", len(strategies), n)
+	}
+
+	net := &Network{Record: cfg.RecordMessages}
+	rng := numeric.NewRand(cfg.Seed)
+	names := make([]string, n)
+	agents := make([]mech.Agent, n)
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	for i, tv := range cfg.Trues {
+		names[i] = fmt.Sprintf("C%d", i+1)
+		net.Send(Message{From: coordinator, To: names[i], Kind: MsgRequestBid})
+		s := strategies[i]
+		if s == nil {
+			s = TruthfulStrategy{}
+		}
+		bid := s.Bid(tv)
+		if bid <= 0 {
+			return nil, fmt.Errorf("protocol: agent %s failed to bid", names[i])
+		}
+		net.Send(Message{From: names[i], To: coordinator, Kind: MsgBid, Value: bid})
+		agents[i] = mech.Agent{Name: names[i], True: tv, Bid: bid, Exec: s.Exec(tv, bid)}
+	}
+
+	model := mech.MM1Model{}
+	x, err := model.Alloc(mech.Bids(agents), cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: allocation: %w", err)
+	}
+	for i := range agents {
+		net.Send(Message{From: coordinator, To: names[i], Kind: MsgAssign, Value: x[i]})
+	}
+
+	// Execution on real FCFS queues with the agents' actual (exec)
+	// service rates mu = 1/exec; sizes are exponential so each node is
+	// an M/M/1 queue.
+	mus := make([]float64, n)
+	for i, a := range agents {
+		mus[i] = 1 / a.Exec
+	}
+	simRes, err := cluster.Run(cluster.Config{
+		Nodes:       cluster.QueueNodes(mus),
+		Probs:       cluster.Probs(x, cfg.Rate),
+		Source:      workload.NewPoisson(cfg.Rate, jobs, workload.ExpSize{}, rng.Split()),
+		RNG:         rng.Split(),
+		KeepSamples: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: execution simulation: %w", err)
+	}
+
+	estimates := make([]estimate.Estimate, n)
+	verdicts := make([]estimate.Verdict, n)
+	estimated := append([]mech.Agent(nil), agents...)
+	for i := range agents {
+		net.Send(Message{
+			From: names[i], To: coordinator, Kind: MsgCompleted,
+			Value: float64(simRes.PerNode[i].Jobs),
+		})
+		obs := simRes.PerNode[i].Latencies
+		if len(obs) == 0 {
+			estimates[i] = estimate.Estimate{Value: agents[i].Bid, N: 0}
+		} else {
+			est, err := estimate.FromMM1Sojourns(obs, x[i])
+			if err != nil {
+				return nil, fmt.Errorf("protocol: estimating agent %s: %w", names[i], err)
+			}
+			estimates[i] = est
+		}
+		verdicts[i] = estimate.VerifyWithMargin(estimates[i], agents[i].Bid, zth, 0.05)
+		estimated[i].Exec = estimates[i].Value
+	}
+
+	mechanism := mech.CompensationBonus{Model: model}
+	outcome, err := mechanism.Run(estimated, cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: payment computation: %w", err)
+	}
+	oracle, err := mechanism.Run(agents, cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: oracle payment computation: %w", err)
+	}
+	for i := range agents {
+		net.Send(Message{From: coordinator, To: names[i], Kind: MsgPayment, Value: outcome.Payment[i]})
+	}
+	return &Result{
+		Outcome:   outcome,
+		Oracle:    oracle,
+		Estimates: estimates,
+		Verdicts:  verdicts,
+		Messages:  net.Count,
+		Active:    active,
+		Net:       net,
+		Sim:       simRes,
+	}, nil
+}

@@ -1,0 +1,371 @@
+// Package protocol implements the paper's centralized load balancing
+// protocol as explicit message passing between a coordinator (the
+// mechanism) and the agents (the computers):
+//
+//  1. the coordinator requests bids,
+//  2. each agent reports its (possibly false) bid,
+//  3. the coordinator computes the PR allocation and assigns loads,
+//  4. the allocated jobs are executed on a simulated cluster while
+//     the coordinator observes per-job latencies and estimates each
+//     agent's actual execution value ť (the verification step), and
+//  5. the coordinator computes compensation-and-bonus payments from
+//     the estimates and delivers them.
+//
+// The message complexity is exactly 5n = O(n), matching the paper's
+// bound, and the package asserts it in tests. Fault injection (agents
+// that refuse to bid) exercises the error paths a deployment would
+// face.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/mech"
+	"repro/internal/numeric"
+	"repro/internal/workload"
+)
+
+// MessageKind enumerates the protocol message types.
+type MessageKind int
+
+// Protocol message kinds, in phase order.
+const (
+	MsgRequestBid MessageKind = iota
+	MsgBid
+	MsgAssign
+	MsgCompleted
+	MsgPayment
+)
+
+// String names the message kind.
+func (k MessageKind) String() string {
+	switch k {
+	case MsgRequestBid:
+		return "request-bid"
+	case MsgBid:
+		return "bid"
+	case MsgAssign:
+		return "assign"
+	case MsgCompleted:
+		return "completed"
+	case MsgPayment:
+		return "payment"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(k))
+	}
+}
+
+// Message is one protocol message.
+type Message struct {
+	// From and To identify the endpoints ("coordinator" or an agent
+	// name).
+	From, To string
+	// Kind is the message type.
+	Kind MessageKind
+	// Value carries the payload: the bid, assigned rate, completed
+	// job count or payment, depending on Kind.
+	Value float64
+}
+
+// Network is the in-memory transport. It counts every message and can
+// keep a full log.
+type Network struct {
+	// Count is the number of messages sent.
+	Count int
+	// Log holds every message when Record is true.
+	Log []Message
+	// Record enables message logging.
+	Record bool
+}
+
+// Send delivers (counts, optionally logs) a message.
+func (n *Network) Send(m Message) {
+	n.Count++
+	if n.Record {
+		n.Log = append(n.Log, m)
+	}
+}
+
+// Strategy decides how an agent plays given its private true value.
+type Strategy interface {
+	// Bid returns the value the agent reports.
+	Bid(trueValue float64) float64
+	// Exec returns the execution value the agent actually runs at
+	// (>= trueValue for legal plays).
+	Exec(trueValue, bid float64) float64
+}
+
+// TruthfulStrategy bids the true value and executes at full capacity.
+type TruthfulStrategy struct{}
+
+// Bid implements Strategy.
+func (TruthfulStrategy) Bid(trueValue float64) float64 { return trueValue }
+
+// Exec implements Strategy.
+func (TruthfulStrategy) Exec(trueValue, _ float64) float64 { return trueValue }
+
+// FactorStrategy scales the truth by fixed factors — the shape of
+// every deviation in the paper's Table 2.
+type FactorStrategy struct {
+	// BidFactor scales the reported value.
+	BidFactor float64
+	// ExecFactor scales the execution value.
+	ExecFactor float64
+}
+
+// Bid implements Strategy.
+func (s FactorStrategy) Bid(trueValue float64) float64 { return s.BidFactor * trueValue }
+
+// Exec implements Strategy.
+func (s FactorStrategy) Exec(trueValue, _ float64) float64 { return s.ExecFactor * trueValue }
+
+// SilentStrategy refuses to bid (fault injection); the coordinator
+// aborts the round with an error.
+type SilentStrategy struct{}
+
+// Bid implements Strategy by returning a non-positive sentinel.
+func (SilentStrategy) Bid(float64) float64 { return 0 }
+
+// Exec implements Strategy.
+func (SilentStrategy) Exec(trueValue, _ float64) float64 { return trueValue }
+
+// Config parameterizes a protocol round.
+type Config struct {
+	// Trues are the agents' private values.
+	Trues []float64
+	// Strategies decide each agent's play; nil entries (or a nil
+	// slice) default to TruthfulStrategy.
+	Strategies []Strategy
+	// Rate is the total job arrival rate R.
+	Rate float64
+	// Jobs is the number of jobs simulated for the execution phase
+	// (default 20000).
+	Jobs int
+	// Seed drives all randomness in the round.
+	Seed uint64
+	// ZThreshold is the verification z-score above which an agent is
+	// flagged as deviating (default 3).
+	ZThreshold float64
+	// RecordMessages keeps the full message log.
+	RecordMessages bool
+	// AllowDropouts makes the coordinator tolerate agents that fail
+	// to bid: they are excluded from the round and the allocation is
+	// recomputed over the responsive agents. Without it a silent
+	// agent aborts the round with an error.
+	AllowDropouts bool
+	// RobustEstimator switches the verification step from the
+	// mean-based estimator to the median-based one, which resists
+	// contaminated observations (e.g. nodes that occasionally stall)
+	// at ~25% statistical efficiency cost.
+	RobustEstimator bool
+	// MarginFrac is the practical-significance margin of the
+	// verification test: an agent is flagged only when its estimated
+	// execution value exceeds its bid by this fraction at the z
+	// threshold (default 0.05). Without a margin, very large samples
+	// flag operationally meaningless excesses such as the small bias
+	// robust estimators carry under contamination.
+	MarginFrac float64
+	// StallEvery injects a measurement fault at node i (0-indexed) of
+	// the map: every k-th observed delay is replaced by a stall of
+	// StallDelay seconds before the coordinator sees it. It models
+	// monitoring glitches rather than agent behaviour.
+	StallEvery map[int]int
+	// StallDelay is the injected stall duration (default 1000s).
+	StallDelay float64
+}
+
+// Result is the outcome of a protocol round.
+type Result struct {
+	// Outcome holds allocations, payments and utilities computed from
+	// the *estimated* execution values — what a real deployment can
+	// do.
+	Outcome *mech.Outcome
+	// Oracle holds the same computed from the exact execution values —
+	// the paper's idealized assumption — for comparison.
+	Oracle *mech.Outcome
+	// Estimates are the per-agent execution-value estimates.
+	Estimates []estimate.Estimate
+	// Verdicts flag agents whose estimated execution value exceeds
+	// their bid.
+	Verdicts []estimate.Verdict
+	// Messages is the number of protocol messages exchanged (5n for a
+	// fully responsive round).
+	Messages int
+	// Active maps the round's agent positions back to indices in
+	// Config.Trues (identical when nobody dropped out).
+	Active []int
+	// Dropped names the agents excluded for failing to bid.
+	Dropped []string
+	// Net is the transport used (carries the log when recording).
+	Net *Network
+	// Sim is the cluster simulation result for the execution phase.
+	Sim *cluster.Result
+}
+
+const coordinator = "coordinator"
+
+// Run executes one full protocol round.
+func Run(cfg Config) (*Result, error) {
+	n := len(cfg.Trues)
+	if n < 2 {
+		return nil, errors.New("protocol: need at least two agents")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("protocol: invalid rate %g", cfg.Rate)
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 20000
+	}
+	zth := cfg.ZThreshold
+	if zth <= 0 {
+		zth = 3
+	}
+	margin := cfg.MarginFrac
+	if margin <= 0 {
+		margin = 0.05
+	}
+	strategies := cfg.Strategies
+	if strategies == nil {
+		strategies = make([]Strategy, n)
+	}
+	if len(strategies) != n {
+		return nil, fmt.Errorf("protocol: %d strategies for %d agents", len(strategies), n)
+	}
+
+	net := &Network{Record: cfg.RecordMessages}
+	rng := numeric.NewRand(cfg.Seed)
+	var names []string
+	var agents []mech.Agent
+	var active []int
+	var dropped []string
+
+	// Phases 1-2: bid collection.
+	for i, tv := range cfg.Trues {
+		name := fmt.Sprintf("C%d", i+1)
+		net.Send(Message{From: coordinator, To: name, Kind: MsgRequestBid})
+		s := strategies[i]
+		if s == nil {
+			s = TruthfulStrategy{}
+		}
+		bid := s.Bid(tv)
+		if bid <= 0 {
+			if cfg.AllowDropouts {
+				dropped = append(dropped, name)
+				continue
+			}
+			return nil, fmt.Errorf("protocol: agent %s failed to bid", name)
+		}
+		net.Send(Message{From: name, To: coordinator, Kind: MsgBid, Value: bid})
+		names = append(names, name)
+		active = append(active, i)
+		agents = append(agents, mech.Agent{
+			Name: name,
+			True: tv,
+			Bid:  bid,
+			Exec: s.Exec(tv, bid),
+		})
+	}
+	if len(agents) < 2 {
+		return nil, fmt.Errorf("protocol: only %d responsive agents", len(agents))
+	}
+	n = len(agents)
+
+	// Phase 3: allocation.
+	model := mech.LinearModel{}
+	x, err := model.Alloc(mech.Bids(agents), cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: allocation: %w", err)
+	}
+	for i := range agents {
+		net.Send(Message{From: coordinator, To: names[i], Kind: MsgAssign, Value: x[i]})
+	}
+
+	// Phase 4: execution on the simulated cluster, with observation.
+	nodes, err := cluster.FlowNodes(mech.Execs(agents), x, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	simRes, err := cluster.Run(cluster.Config{
+		Nodes:       nodes,
+		Probs:       cluster.Probs(x, cfg.Rate),
+		Source:      workload.NewPoisson(cfg.Rate, jobs, nil, rng.Split()),
+		RNG:         rng.Split(),
+		KeepSamples: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: execution simulation: %w", err)
+	}
+
+	estimates := make([]estimate.Estimate, n)
+	verdicts := make([]estimate.Verdict, n)
+	estimated := append([]mech.Agent(nil), agents...)
+	for i := range agents {
+		net.Send(Message{
+			From: names[i], To: coordinator, Kind: MsgCompleted,
+			Value: float64(simRes.PerNode[i].Jobs),
+		})
+		// Estimate against the rate the coordinator assigned: the
+		// coordinator is itself the dispatcher, so x_i is known
+		// exactly, and using the (noisy) observed arrival rate would
+		// understate the estimator's uncertainty.
+		obs := simRes.PerNode[i].Latencies
+		if k, ok := cfg.StallEvery[active[i]]; ok && k > 0 {
+			stall := cfg.StallDelay
+			if stall <= 0 {
+				stall = 1000
+			}
+			obs = append([]float64(nil), obs...)
+			for j := 0; j < len(obs); j += k {
+				obs[j] = stall
+			}
+		}
+		if len(obs) == 0 || x[i] <= 0 {
+			// No jobs observed (possible only under extreme
+			// allocations): fall back to trusting the bid.
+			estimates[i] = estimate.Estimate{Value: agents[i].Bid, N: 0}
+		} else {
+			estFn := estimate.FromFlowDelays
+			if cfg.RobustEstimator {
+				estFn = estimate.FromFlowDelaysRobust
+			}
+			est, err := estFn(obs, x[i])
+			if err != nil {
+				return nil, fmt.Errorf("protocol: estimating agent %s: %w", names[i], err)
+			}
+			estimates[i] = est
+		}
+		verdicts[i] = estimate.VerifyWithMargin(estimates[i], agents[i].Bid, zth, margin)
+		estimated[i].Exec = estimates[i].Value
+	}
+
+	mechanism := mech.CompensationBonus{}
+	outcome, err := mechanism.Run(estimated, cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: payment computation: %w", err)
+	}
+	oracle, err := mechanism.Run(agents, cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: oracle payment computation: %w", err)
+	}
+
+	// Phase 5: payments.
+	for i := range agents {
+		net.Send(Message{From: coordinator, To: names[i], Kind: MsgPayment, Value: outcome.Payment[i]})
+	}
+
+	return &Result{
+		Outcome:   outcome,
+		Oracle:    oracle,
+		Estimates: estimates,
+		Verdicts:  verdicts,
+		Messages:  net.Count,
+		Active:    active,
+		Dropped:   dropped,
+		Net:       net,
+		Sim:       simRes,
+	}, nil
+}

@@ -1,0 +1,232 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of values in a grouped bar chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Values are the series values, one per chart label.
+	Values []float64
+}
+
+// BarChart is a grouped horizontal bar chart: for every label, one bar
+// per series. Negative values extend left of a zero axis, which the
+// paper's Figure 2 (Low2) needs.
+type BarChart struct {
+	// Title is printed above the chart.
+	Title string
+	// Labels are the category names (one group per label).
+	Labels []string
+	// Series hold the grouped values; each must have len(Labels)
+	// values.
+	Series []Series
+	// Width is the bar area width in characters (default 50).
+	Width int
+}
+
+// Render writes the chart as ASCII art.
+func (c *BarChart) Render(w io.Writer) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	lo, hi := c.valueRange()
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	zero := int(math.Round(float64(width) * (0 - lo) / span))
+
+	labW, serW := 0, 0
+	for _, l := range c.Labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s.Name) > serW {
+			serW = len(s.Name)
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	fmt.Fprintf(w, "%*s  %*s  range [%s, %s]\n", labW, "", serW, "",
+		FormatFloat(lo), FormatFloat(hi))
+	for li, label := range c.Labels {
+		for si, s := range c.Series {
+			v := s.Values[li]
+			pos := int(math.Round(float64(width) * (v - lo) / span))
+			var bar strings.Builder
+			for x := 0; x <= width; x++ {
+				switch {
+				case x == zero:
+					bar.WriteByte('|')
+				case v >= 0 && x > zero && x <= pos:
+					bar.WriteByte('#')
+				case v < 0 && x < zero && x >= pos:
+					bar.WriteByte('#')
+				default:
+					bar.WriteByte(' ')
+				}
+			}
+			name := ""
+			lab := ""
+			if si == 0 {
+				lab = label
+			}
+			name = s.Name
+			fmt.Fprintf(w, "%-*s  %-*s  %s %s\n", labW, lab, serW, name,
+				bar.String(), FormatFloat(v))
+		}
+	}
+	return nil
+}
+
+// String renders the chart to a string, ignoring errors.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return "chart error: " + err.Error()
+	}
+	return b.String()
+}
+
+func (c *BarChart) validate() error {
+	if len(c.Labels) == 0 {
+		return fmt.Errorf("report: chart %q has no labels", c.Title)
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Labels) {
+			return fmt.Errorf("report: chart %q series %q has %d values for %d labels",
+				c.Title, s.Name, len(s.Values), len(c.Labels))
+		}
+	}
+	return nil
+}
+
+func (c *BarChart) valueRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// svgPalette are the fill colors cycled across series.
+var svgPalette = []string{"#4878a8", "#e49444", "#5bab6e", "#d1605e", "#857aab"}
+
+// WriteSVG writes the chart as a standalone grouped-bar SVG document.
+func (c *BarChart) WriteSVG(w io.Writer) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	const (
+		chartW  = 640.0
+		chartH  = 360.0
+		marginL = 60.0
+		marginR = 20.0
+		marginT = 40.0
+		marginB = 70.0
+	)
+	plotW := chartW - marginL - marginR
+	plotH := chartH - marginT - marginB
+	lo, hi := c.valueRange()
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	yOf := func(v float64) float64 { return marginT + plotH*(hi-v)/span }
+
+	nGroups := len(c.Labels)
+	nSeries := len(c.Series)
+	groupW := plotW / float64(nGroups)
+	barW := groupW * 0.8 / float64(nSeries)
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(w, `<rect width="%g" height="%g" fill="white"/>`+"\n", chartW, chartH)
+	if c.Title != "" {
+		fmt.Fprintf(w, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			chartW/2, escapeXML(c.Title))
+	}
+	// Axis lines: zero line and left axis.
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+		marginL, yOf(0), chartW-marginR, yOf(0))
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := lo + span*float64(i)/4
+		y := yOf(v)
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#999"/>`+"\n",
+			marginL-4, y, marginL, y)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-7, y+4, FormatFloat(v))
+	}
+	// Bars.
+	for li, label := range c.Labels {
+		gx := marginL + groupW*float64(li) + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[li]
+			x := gx + barW*float64(si)
+			y0, y1 := yOf(0), yOf(v)
+			top, h := y1, y0-y1
+			if v < 0 {
+				top, h = y0, y1-y0
+			}
+			fmt.Fprintf(w, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+				x, top, barW*0.95, h, svgPalette[si%len(svgPalette)])
+		}
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW*0.4, marginT+plotH+16, escapeXML(label))
+	}
+	// Legend.
+	lx := marginL
+	ly := chartH - 24
+	for si, s := range c.Series {
+		fmt.Fprintf(w, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n",
+			lx, ly, svgPalette[si%len(svgPalette)])
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+16, ly+10, escapeXML(s.Name))
+		lx += 16 + 8*float64(len(s.Name)) + 24
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a matrix of values over labeled axes, as ASCII
+// shading or as an SVG grid. It backs the deviation-utility surface
+// artifact: bid factor on one axis, execution factor on the other,
+// utility loss as color.
+type Heatmap struct {
+	// Title is printed above the map.
+	Title string
+	// XLabels and YLabels name the columns and rows.
+	XLabels, YLabels []string
+	// Values is indexed [row][col] and must be rectangular with
+	// len(YLabels) rows of len(XLabels) values.
+	Values [][]float64
+}
+
+func (h *Heatmap) validate() error {
+	if len(h.XLabels) == 0 || len(h.YLabels) == 0 {
+		return fmt.Errorf("report: heatmap %q has empty axes", h.Title)
+	}
+	if len(h.Values) != len(h.YLabels) {
+		return fmt.Errorf("report: heatmap %q has %d rows for %d y labels",
+			h.Title, len(h.Values), len(h.YLabels))
+	}
+	for r, row := range h.Values {
+		if len(row) != len(h.XLabels) {
+			return fmt.Errorf("report: heatmap %q row %d has %d values for %d x labels",
+				h.Title, r, len(row), len(h.XLabels))
+		}
+	}
+	return nil
+}
+
+func (h *Heatmap) valueRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// asciiShades maps normalized intensity to characters, light to dark.
+var asciiShades = []byte(" .:-=+*#%@")
+
+// Render writes the heatmap as ASCII shading with a legend.
+func (h *Heatmap) Render(w io.Writer) error {
+	if err := h.validate(); err != nil {
+		return err
+	}
+	lo, hi := h.valueRange()
+	labW := 0
+	for _, l := range h.YLabels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	if h.Title != "" {
+		fmt.Fprintln(w, h.Title)
+	}
+	for r, row := range h.Values {
+		var b strings.Builder
+		for _, v := range row {
+			idx := int(float64(len(asciiShades)-1) * (v - lo) / (hi - lo))
+			b.WriteByte(asciiShades[idx])
+			b.WriteByte(asciiShades[idx]) // double width for aspect ratio
+		}
+		fmt.Fprintf(w, "%-*s |%s|\n", labW, h.YLabels[r], b.String())
+	}
+	fmt.Fprintf(w, "%-*s  cols: %s\n", labW, "", strings.Join(h.XLabels, " "))
+	fmt.Fprintf(w, "%-*s  scale: ' '=%s '@'=%s\n", labW, "",
+		FormatFloat(lo), FormatFloat(hi))
+	return nil
+}
+
+// String renders the heatmap to a string, ignoring errors.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		return "heatmap error: " + err.Error()
+	}
+	return b.String()
+}
+
+// WriteSVG writes the heatmap as a standalone SVG with a white-to-blue
+// ramp and cell value annotations.
+func (h *Heatmap) WriteSVG(w io.Writer) error {
+	if err := h.validate(); err != nil {
+		return err
+	}
+	lo, hi := h.valueRange()
+	const (
+		cellW, cellH = 64.0, 36.0
+		marginL      = 80.0
+		marginT      = 50.0
+		marginB      = 40.0
+		marginR      = 20.0
+	)
+	cols, rowsN := len(h.XLabels), len(h.YLabels)
+	chartW := marginL + cellW*float64(cols) + marginR
+	chartH := marginT + cellH*float64(rowsN) + marginB
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(w, `<rect width="%g" height="%g" fill="white"/>`+"\n", chartW, chartH)
+	if h.Title != "" {
+		fmt.Fprintf(w, `<text x="%g" y="24" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+			chartW/2, escapeXML(h.Title))
+	}
+	for r := 0; r < rowsN; r++ {
+		y := marginT + cellH*float64(r)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+cellH/2+4, escapeXML(h.YLabels[r]))
+		for c := 0; c < cols; c++ {
+			x := marginL + cellW*float64(c)
+			t := (h.Values[r][c] - lo) / (hi - lo)
+			// White (low) to deep blue (high).
+			red := int(255 - 183*t)
+			green := int(255 - 135*t)
+			fmt.Fprintf(w, `<rect x="%g" y="%g" width="%g" height="%g" fill="rgb(%d,%d,255)" stroke="#ccc"/>`+"\n",
+				x, y, cellW, cellH, red, green)
+			textColor := "#000"
+			if t > 0.6 {
+				textColor = "#fff"
+			}
+			fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle" fill="%s">%s</text>`+"\n",
+				x+cellW/2, y+cellH/2+4, textColor, FormatFloat(h.Values[r][c]))
+		}
+	}
+	for c := 0; c < cols; c++ {
+		x := marginL + cellW*float64(c)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x+cellW/2, marginT+cellH*float64(rowsN)+18, escapeXML(h.XLabels[c]))
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}

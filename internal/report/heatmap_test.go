@@ -1,0 +1,78 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func heat() *Heatmap {
+	return &Heatmap{
+		Title:   "Utility loss",
+		XLabels: []string{"b=0.5", "b=1", "b=2"},
+		YLabels: []string{"e=1", "e=2"},
+		Values: [][]float64{
+			{8.6, 0, 7.3},
+			{27.1, 15.4, 21.9},
+		},
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	out := heat().String()
+	for _, want := range []string{"Utility loss", "e=1", "e=2", "b=0.5", "scale:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	// The minimum cell (0) renders as the lightest shade (space) and
+	// the maximum (27.1) as the darkest (@).
+	if !strings.Contains(out, "@") {
+		t.Error("no dark cell rendered")
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := heat().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "rgb(", "27.1", "b=2"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// One rect per cell plus background.
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Errorf("%d rects, want 7", got)
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	bad := []*Heatmap{
+		{XLabels: nil, YLabels: []string{"a"}, Values: [][]float64{{1}}},
+		{XLabels: []string{"a"}, YLabels: []string{"a"}, Values: nil},
+		{XLabels: []string{"a"}, YLabels: []string{"a", "b"}, Values: [][]float64{{1}}},
+		{XLabels: []string{"a", "b"}, YLabels: []string{"a"}, Values: [][]float64{{1}}},
+	}
+	for i, h := range bad {
+		if err := h.Render(&bytes.Buffer{}); err == nil {
+			t.Errorf("case %d render accepted", i)
+		}
+		if err := h.WriteSVG(&bytes.Buffer{}); err == nil {
+			t.Errorf("case %d svg accepted", i)
+		}
+	}
+}
+
+func TestHeatmapConstant(t *testing.T) {
+	h := &Heatmap{
+		XLabels: []string{"a"},
+		YLabels: []string{"b"},
+		Values:  [][]float64{{5}},
+	}
+	if err := h.Render(&bytes.Buffer{}); err != nil {
+		t.Errorf("constant heatmap: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// LineChart is a multi-series XY chart rendered to SVG, used for the
+// extension parameter sweeps (latency vs arrival rate, error vs
+// observation budget, ...).
+type LineChart struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// X holds the shared x coordinates, strictly increasing.
+	X []float64
+	// Series holds the y values; each must have len(X) values.
+	Series []Series
+	// LogY plots the y axis logarithmically (all values must be > 0).
+	LogY bool
+}
+
+func (c *LineChart) validate() error {
+	if len(c.X) < 2 {
+		return fmt.Errorf("report: line chart %q needs at least 2 points", c.Title)
+	}
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] <= c.X[i-1] {
+			return fmt.Errorf("report: line chart %q x values not increasing", c.Title)
+		}
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("report: line chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.X) {
+			return fmt.Errorf("report: line chart %q series %q has %d values for %d points",
+				c.Title, s.Name, len(s.Values), len(c.X))
+		}
+		if c.LogY {
+			for _, v := range s.Values {
+				if v <= 0 {
+					return fmt.Errorf("report: line chart %q: log scale needs positive values", c.Title)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSVG writes the chart as a standalone SVG document.
+func (c *LineChart) WriteSVG(w io.Writer) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	const (
+		chartW  = 640.0
+		chartH  = 400.0
+		marginL = 70.0
+		marginR = 20.0
+		marginT = 40.0
+		marginB = 80.0
+	)
+	plotW := chartW - marginL - marginR
+	plotH := chartH - marginT - marginB
+
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			tv := ty(v)
+			if tv < yLo {
+				yLo = tv
+			}
+			if tv > yHi {
+				yHi = tv
+			}
+		}
+	}
+	if !c.LogY && yLo > 0 {
+		yLo = 0
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	xLo, xHi := c.X[0], c.X[len(c.X)-1]
+	xOf := func(x float64) float64 { return marginL + plotW*(x-xLo)/(xHi-xLo) }
+	yOf := func(v float64) float64 { return marginT + plotH*(yHi-ty(v))/(yHi-yLo) }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(w, `<rect width="%g" height="%g" fill="white"/>`+"\n", chartW, chartH)
+	if c.Title != "" {
+		fmt.Fprintf(w, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			chartW/2, escapeXML(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		fy := yLo + (yHi-yLo)*float64(i)/4
+		label := fy
+		if c.LogY {
+			label = math.Pow(10, fy)
+		}
+		y := marginT + plotH*(yHi-fy)/(yHi-yLo)
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-7, y+4, FormatFloat(label))
+
+		fx := xLo + (xHi-xLo)*float64(i)/4
+		x := xOf(fx)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotH+16, FormatFloat(fx))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, marginT+plotH+36, escapeXML(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(w, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escapeXML(c.YLabel))
+	}
+	// Polylines.
+	for si, s := range c.Series {
+		var pts strings.Builder
+		for i, v := range s.Values {
+			fmt.Fprintf(&pts, "%g,%g ", xOf(c.X[i]), yOf(v))
+		}
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			svgPalette[si%len(svgPalette)], strings.TrimSpace(pts.String()))
+		for i, v := range s.Values {
+			fmt.Fprintf(w, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n",
+				xOf(c.X[i]), yOf(v), svgPalette[si%len(svgPalette)])
+		}
+	}
+	// Legend.
+	lx := marginL
+	ly := chartH - 20
+	for si, s := range c.Series {
+		fmt.Fprintf(w, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n",
+			lx, ly, svgPalette[si%len(svgPalette)])
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+16, ly+10, escapeXML(s.Name))
+		lx += 16 + 8*float64(len(s.Name)) + 24
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}

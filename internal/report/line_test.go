@@ -1,0 +1,79 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func lineChart() *LineChart {
+	return &LineChart{
+		Title:  "Latency vs rate",
+		XLabel: "R (jobs/s)",
+		YLabel: "total latency",
+		X:      []float64{1, 2, 5, 10, 20},
+		Series: []Series{
+			{Name: "optimal", Values: []float64{0.2, 0.8, 4.9, 19.6, 78.4}},
+			{Name: "Low2", Values: []float64{0.3, 1.3, 8.1, 32.5, 130.1}},
+		},
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lineChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "optimal", "Low2",
+		"Latency vs rate", "R (jobs/s)", "total latency"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	// One circle per point.
+	if got := strings.Count(svg, "<circle"); got != 10 {
+		t.Errorf("%d markers, want 10", got)
+	}
+}
+
+func TestLineChartLogScale(t *testing.T) {
+	c := lineChart()
+	c.LogY = true
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Log scale rejects non-positive values.
+	c.Series[0].Values[0] = 0
+	if err := c.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("expected error for log scale with zero value")
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	bad := []*LineChart{
+		{X: []float64{1}, Series: []Series{{Name: "s", Values: []float64{1}}}},
+		{X: []float64{1, 1}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}},
+		{X: []float64{1, 2}, Series: nil},
+		{X: []float64{1, 2}, Series: []Series{{Name: "s", Values: []float64{1}}}},
+	}
+	for i, c := range bad {
+		if err := c.WriteSVG(&bytes.Buffer{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	c := &LineChart{
+		X:      []float64{0, 1},
+		Series: []Series{{Name: "flat", Values: []float64{3, 3}}},
+	}
+	if err := c.WriteSVG(&bytes.Buffer{}); err != nil {
+		t.Errorf("constant series failed: %v", err)
+	}
+}

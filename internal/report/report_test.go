@@ -1,0 +1,181 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Config", "computer", "t")
+	tb.AddRow("C1", "1")
+	tb.AddRow("C2", "10")
+	out := tb.String()
+	for _, want := range []string{"Config", "computer", "C1", "C2", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAddFloats(t *testing.T) {
+	tb := NewTable("", "label", "a", "b")
+	tb.AddFloats("row", 1.5, -2.25)
+	out := tb.String()
+	if !strings.Contains(out, "1.5") || !strings.Contains(out, "-2.25") {
+		t.Errorf("floats not rendered:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if tb.Rows() != 1 {
+		t.Error("short row rejected")
+	}
+}
+
+func TestTableLongRowPanics(t *testing.T) {
+	tb := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.AddRow("1", "2")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRow("1", "2")
+	tb.AddRow("a,b", `q"t`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "x,y\n") {
+		t.Errorf("csv = %q", got)
+	}
+	if !strings.Contains(got, `"a,b"`) {
+		t.Errorf("csv quoting broken: %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:        "1",
+		1.5:      "1.5",
+		78.43137: "78.4314",
+		-0.25:    "-0.25",
+		0:        "0",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func chart() *BarChart {
+	return &BarChart{
+		Title:  "Payment and utility",
+		Labels: []string{"True1", "Low2"},
+		Series: []Series{
+			{Name: "payment", Values: []float64{23, -19.4}},
+			{Name: "utility", Values: []float64{19.1, -32.5}},
+		},
+	}
+}
+
+func TestBarChartASCII(t *testing.T) {
+	out := chart().String()
+	for _, want := range []string{"True1", "Low2", "payment", "utility", "#", "|", "-32.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarChartNegativeBarsLeftOfAxis(t *testing.T) {
+	c := &BarChart{
+		Labels: []string{"x"},
+		Series: []Series{{Name: "v", Values: []float64{-5}}},
+	}
+	out := c.String()
+	// The hash marks must appear before the zero axis character.
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "#") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no bar drawn:\n%s", out)
+	}
+	if strings.Index(line, "#") > strings.Index(line, "|") {
+		t.Errorf("negative bar drawn right of axis: %q", line)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	bad := []*BarChart{
+		{Labels: nil, Series: []Series{{Name: "v", Values: nil}}},
+		{Labels: []string{"a"}, Series: nil},
+		{Labels: []string{"a"}, Series: []Series{{Name: "v", Values: []float64{1, 2}}}},
+	}
+	for i, c := range bad {
+		if err := c.Render(&bytes.Buffer{}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<rect", "Payment and utility", "True1"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// One rect per bar (4) plus background and legend swatches (2).
+	if got := strings.Count(svg, "<rect"); got < 7 {
+		t.Errorf("svg has %d rects, want >= 7", got)
+	}
+}
+
+func TestBarChartSVGEscapes(t *testing.T) {
+	c := &BarChart{
+		Title:  `a<b & "c"`,
+		Labels: []string{"l"},
+		Series: []Series{{Name: "s", Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `a<b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(buf.String(), "a&lt;b &amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestBarChartConstantZero(t *testing.T) {
+	c := &BarChart{
+		Labels: []string{"a"},
+		Series: []Series{{Name: "v", Values: []float64{0}}},
+	}
+	if err := c.Render(&bytes.Buffer{}); err != nil {
+		t.Errorf("zero-only chart failed: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package rounds runs the load balancing mechanism as a long-lived
+// system: repeated protocol rounds over a population of computers
+// with churn (join/leave), per-round execution and verification, and
+// a reputation policy that suspends computers repeatedly caught
+// executing slower than they bid. This is the operational layer a
+// deployment would put around the one-shot mechanism: the paper's
+// verification step becomes an enforcement signal rather than just a
+// payment input.
+package rounds
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mech"
+	"repro/internal/protocol"
+)
+
+// Policy governs how verification flags turn into suspensions.
+type Policy struct {
+	// Strikes is the number of flags before a computer is suspended
+	// (default 2).
+	Strikes int
+	// BanRounds is the suspension length in rounds (default 3).
+	BanRounds int
+	// ZThreshold is the verification significance threshold (default 3).
+	ZThreshold float64
+	// ForgiveAfter resets a computer's strike count when it has gone
+	// that many rounds without a flag (0 = strikes never decay).
+	// Without decay a rare false positive would count against an
+	// honest computer forever.
+	ForgiveAfter int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Strikes <= 0 {
+		p.Strikes = 2
+	}
+	if p.BanRounds <= 0 {
+		p.BanRounds = 3
+	}
+	if p.ZThreshold <= 0 {
+		p.ZThreshold = 3
+	}
+	return p
+}
+
+// ComputerSpec describes one computer's lifetime and behaviour.
+type ComputerSpec struct {
+	// True is the computer's private latency parameter.
+	True float64
+	// Strategy decides its play each round (nil = truthful).
+	Strategy protocol.Strategy
+	// JoinRound is the first round the computer participates in.
+	JoinRound int
+	// LeaveRound is the first round it is gone again; <= 0 means it
+	// never leaves.
+	LeaveRound int
+}
+
+// Config drives a multi-round simulation.
+type Config struct {
+	// Computers is the full population, present or future.
+	Computers []ComputerSpec
+	// Rate is the arrival rate per round; RateFor overrides it per
+	// round when non-nil.
+	Rate float64
+	// RateFor optionally returns the arrival rate of a given round.
+	RateFor func(round int) float64
+	// Rounds is the number of rounds to run.
+	Rounds int
+	// JobsPerRound is the execution-simulation budget per round
+	// (default 5000).
+	JobsPerRound int
+	// Seed drives all randomness.
+	Seed uint64
+	// Policy is the reputation policy.
+	Policy Policy
+}
+
+// Record summarizes one round.
+type Record struct {
+	// Round is the round index.
+	Round int
+	// Active lists the participating computer indices.
+	Active []int
+	// Suspended lists computers sitting out a ban this round.
+	Suspended []int
+	// Latency is the realized total latency (oracle values).
+	Latency float64
+	// OptLatency is the optimum for the active computers' true values.
+	OptLatency float64
+	// Flagged lists computers whose verification failed this round.
+	Flagged []int
+	// TotalPayment is the mechanism's outlay this round.
+	TotalPayment float64
+}
+
+// Result is the outcome of a full simulation.
+type Result struct {
+	// Records holds one entry per executed round.
+	Records []Record
+	// Strikes is each computer's final strike count.
+	Strikes []int
+	// Suspensions counts how many times each computer was suspended.
+	Suspensions []int
+}
+
+// Run executes the multi-round system.
+func Run(cfg Config) (*Result, error) {
+	n := len(cfg.Computers)
+	if n < 2 {
+		return nil, errors.New("rounds: need at least two computers")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, errors.New("rounds: non-positive round count")
+	}
+	if cfg.Rate <= 0 && cfg.RateFor == nil {
+		return nil, errors.New("rounds: no arrival rate configured")
+	}
+	for i, c := range cfg.Computers {
+		if c.True <= 0 {
+			return nil, fmt.Errorf("rounds: computer %d has invalid true value %g", i, c.True)
+		}
+		if c.JoinRound < 0 {
+			return nil, fmt.Errorf("rounds: computer %d has negative join round", i)
+		}
+	}
+	pol := cfg.Policy.withDefaults()
+	jobs := cfg.JobsPerRound
+	if jobs <= 0 {
+		jobs = 5000
+	}
+
+	res := &Result{
+		Strikes:     make([]int, n),
+		Suspensions: make([]int, n),
+	}
+	bannedUntil := make([]int, n) // round index at which the ban ends
+	lastFlag := make([]int, n)    // round of the most recent flag
+	for i := range lastFlag {
+		lastFlag[i] = -1
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		rate := cfg.Rate
+		if cfg.RateFor != nil {
+			rate = cfg.RateFor(round)
+		}
+		if rate <= 0 {
+			return nil, fmt.Errorf("rounds: round %d has invalid rate %g", round, rate)
+		}
+		rec := Record{Round: round}
+		var trues []float64
+		var strategies []protocol.Strategy
+		for i, c := range cfg.Computers {
+			present := round >= c.JoinRound && (c.LeaveRound <= 0 || round < c.LeaveRound)
+			if !present {
+				continue
+			}
+			if round < bannedUntil[i] {
+				rec.Suspended = append(rec.Suspended, i)
+				continue
+			}
+			rec.Active = append(rec.Active, i)
+			trues = append(trues, c.True)
+			strategies = append(strategies, c.Strategy)
+		}
+		if len(rec.Active) < 2 {
+			return nil, fmt.Errorf("rounds: round %d has only %d active computers", round, len(rec.Active))
+		}
+		pres, err := protocol.Run(protocol.Config{
+			Trues:      trues,
+			Strategies: strategies,
+			Rate:       rate,
+			Jobs:       jobs,
+			Seed:       cfg.Seed + uint64(round)*0x9e3779b9,
+			ZThreshold: pol.ZThreshold,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rounds: round %d: %w", round, err)
+		}
+		rec.Latency = pres.Oracle.RealLatency
+		rec.TotalPayment = pres.Outcome.TotalPayment()
+		model := mech.LinearModel{}
+		opt, err := model.OptimalTotal(trues, rate)
+		if err != nil {
+			return nil, err
+		}
+		rec.OptLatency = opt
+		for pos, v := range pres.Verdicts {
+			if !v.Deviating {
+				continue
+			}
+			idx := rec.Active[pos]
+			rec.Flagged = append(rec.Flagged, idx)
+			if pol.ForgiveAfter > 0 && lastFlag[idx] >= 0 &&
+				round-lastFlag[idx] > pol.ForgiveAfter {
+				res.Strikes[idx] = 0
+			}
+			lastFlag[idx] = round
+			res.Strikes[idx]++
+			if res.Strikes[idx] >= pol.Strikes {
+				bannedUntil[idx] = round + 1 + pol.BanRounds
+				res.Suspensions[idx]++
+				res.Strikes[idx] = 0
+			}
+		}
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+// Package scenario loads experiment descriptions from JSON so that
+// custom systems can be simulated without writing Go: a scenario names
+// the latency model, the arrival rate, and per-computer true values
+// with optional bid/execution deviation factors, and runs as a full
+// verification-protocol round.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/protocol"
+)
+
+// Computer is one machine in a scenario file.
+type Computer struct {
+	// True is the private latency parameter (for the linear model) or
+	// mean service time (for mm1).
+	True float64 `json:"true"`
+	// BidFactor scales the reported value; 0 means 1 (truthful).
+	BidFactor float64 `json:"bid_factor,omitempty"`
+	// ExecFactor scales the execution value; 0 means 1 (full
+	// capacity).
+	ExecFactor float64 `json:"exec_factor,omitempty"`
+}
+
+// Scenario is a complete simulation description.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Model selects the latency family: "linear" (default) or "mm1".
+	Model string `json:"model,omitempty"`
+	// Rate is the total job arrival rate.
+	Rate float64 `json:"rate"`
+	// Jobs is the execution-simulation budget (0 = protocol default).
+	Jobs int `json:"jobs,omitempty"`
+	// Seed drives the randomness (0 allowed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Computers are the machines.
+	Computers []Computer `json:"computers"`
+}
+
+// Load parses and validates a scenario from JSON.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the scenario's internal consistency and fills
+// defaults.
+func (s *Scenario) Validate() error {
+	switch s.Model {
+	case "":
+		s.Model = "linear"
+	case "linear", "mm1":
+	default:
+		return fmt.Errorf("scenario: unknown model %q (want linear or mm1)", s.Model)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("scenario: invalid rate %g", s.Rate)
+	}
+	if len(s.Computers) < 2 {
+		return errors.New("scenario: need at least two computers")
+	}
+	for i := range s.Computers {
+		c := &s.Computers[i]
+		if c.True <= 0 {
+			return fmt.Errorf("scenario: computer %d has invalid true value %g", i, c.True)
+		}
+		if c.BidFactor == 0 {
+			c.BidFactor = 1
+		}
+		if c.ExecFactor == 0 {
+			c.ExecFactor = 1
+		}
+		if c.BidFactor < 0 || c.ExecFactor < 0 {
+			return fmt.Errorf("scenario: computer %d has negative factors", i)
+		}
+	}
+	return nil
+}
+
+// Trues returns the true-value vector.
+func (s *Scenario) Trues() []float64 {
+	out := make([]float64, len(s.Computers))
+	for i, c := range s.Computers {
+		out[i] = c.True
+	}
+	return out
+}
+
+// Strategies returns the per-computer protocol strategies.
+func (s *Scenario) Strategies() []protocol.Strategy {
+	out := make([]protocol.Strategy, len(s.Computers))
+	for i, c := range s.Computers {
+		out[i] = protocol.FactorStrategy{BidFactor: c.BidFactor, ExecFactor: c.ExecFactor}
+	}
+	return out
+}
+
+// Run executes the scenario as a full protocol round under its model.
+func (s *Scenario) Run() (*protocol.Result, error) {
+	cfg := protocol.Config{
+		Trues:      s.Trues(),
+		Strategies: s.Strategies(),
+		Rate:       s.Rate,
+		Jobs:       s.Jobs,
+		Seed:       s.Seed,
+	}
+	if s.Model == "mm1" {
+		return protocol.RunMM1(cfg)
+	}
+	return protocol.Run(cfg)
+}

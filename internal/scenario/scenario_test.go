@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const valid = `{
+  "name": "two-tier",
+  "rate": 6,
+  "jobs": 2000,
+  "seed": 3,
+  "computers": [
+    {"true": 1},
+    {"true": 2, "bid_factor": 0.5, "exec_factor": 2},
+    {"true": 5}
+  ]
+}`
+
+func TestLoadValid(t *testing.T) {
+	s, err := Load(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "two-tier" || s.Model != "linear" {
+		t.Errorf("scenario = %+v", s)
+	}
+	if len(s.Computers) != 3 {
+		t.Fatalf("computers = %d", len(s.Computers))
+	}
+	// Defaults applied.
+	if s.Computers[0].BidFactor != 1 || s.Computers[0].ExecFactor != 1 {
+		t.Errorf("defaults not applied: %+v", s.Computers[0])
+	}
+	// Explicit factors preserved.
+	if s.Computers[1].BidFactor != 0.5 || s.Computers[1].ExecFactor != 2 {
+		t.Errorf("explicit factors lost: %+v", s.Computers[1])
+	}
+	if got := s.Trues(); got[2] != 5 {
+		t.Errorf("Trues = %v", got)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"rate": 6, "computers": [{"true": 1}]}`,                                  // one computer
+		`{"rate": 0, "computers": [{"true": 1}, {"true": 2}]}`,                     // bad rate
+		`{"rate": 6, "computers": [{"true": -1}, {"true": 2}]}`,                    // bad true
+		`{"rate": 6, "model": "quantum", "computers": [{"true": 1}, {"true": 2}]}`, // bad model
+		`{"rate": 6, "bogus": 1, "computers": [{"true": 1}, {"true": 2}]}`,         // unknown field
+		`{"rate": 6, "computers": [{"true": 1, "bid_factor": -2}, {"true": 2}]}`,   // negative factor
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestScenarioRunLinear(t *testing.T) {
+	s, err := Load(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 5*3 {
+		t.Errorf("messages = %d", res.Messages)
+	}
+	// Computer 2 played Low2-style: bid low, execute slow.
+	if res.Oracle.Utility[1] >= res.Oracle.Utility[0] && res.Oracle.Utility[1] > 0 {
+		t.Logf("note: deviator utility %v", res.Oracle.Utility[1])
+	}
+}
+
+func TestScenarioRunMM1(t *testing.T) {
+	s := &Scenario{
+		Model: "mm1",
+		Rate:  4,
+		Jobs:  20000,
+		Seed:  9,
+		Computers: []Computer{
+			{True: 0.1}, {True: 0.2}, {True: 0.4},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Model != "mm1" {
+		t.Errorf("model = %q", res.Outcome.Model)
+	}
+}

@@ -1,0 +1,146 @@
+// Package sim is a small discrete-event simulation engine: a virtual
+// clock and a priority queue of timestamped events. Events scheduled
+// for the same instant fire in FIFO order, which keeps simulations
+// deterministic. The cluster and protocol packages build on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled action. It can be canceled before it fires.
+type Event struct {
+	time     float64
+	seq      uint64
+	action   func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the virtual time at which the event fires.
+func (ev *Event) Time() float64 { return ev.time }
+
+// Cancel prevents the event's action from running. Canceling an event
+// that already fired is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is a ready
+// engine at time 0.
+type Engine struct {
+	now     float64
+	events  eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// New returns an engine with its clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events still scheduled (including
+// canceled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs action after the given delay of virtual time. It
+// panics on negative or NaN delays.
+func (e *Engine) Schedule(delay float64, action func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: invalid delay %v", delay))
+	}
+	return e.At(e.now+delay, action)
+}
+
+// At runs action at absolute virtual time t, which must not precede
+// the current time.
+func (e *Engine) At(t float64, action func()) *Event {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: cannot schedule at %v before now %v", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.seq, action: action}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// returns false when no events remain or the engine is stopped.
+// Canceled events are skipped silently.
+func (e *Engine) Step() bool {
+	for !e.stopped && len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires every event with timestamp <= t and then advances the
+// clock to t. Events scheduled beyond t stay pending. It panics if t
+// precedes the current time.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	for !e.stopped && len(e.events) > 0 && e.events[0].time <= t {
+		if !e.Step() {
+			break
+		}
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event. Scheduling remains
+// possible; Resume re-enables stepping.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Stopped reports whether the engine is stopped.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time = %v, want 3", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromWithinAction(t *testing.T) {
+	e := New()
+	var times []float64
+	var tick func()
+	count := 0
+	tick = func() {
+		times = append(times, e.Now())
+		count++
+		if count < 5 {
+			e.Schedule(2, tick)
+		}
+	}
+	e.Schedule(2, tick)
+	e.Run()
+	want := []float64{2, 4, 6, 8, 10}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []string
+	a := e.Schedule(1, func() { got = append(got, "a") })
+	e.Schedule(2, func() { got = append(got, "b") })
+	_ = a
+	a.Cancel()
+	e.Run()
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want 3 events", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	// Idle advance: no events between 3 and 3.5.
+	e.RunUntil(3.5)
+	if e.Now() != 3.5 {
+		t.Errorf("now = %v, want 3.5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Errorf("fired %v, want all 5", fired)
+	}
+}
+
+func TestStopAndResume(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2 after Stop", count)
+	}
+	if !e.Stopped() {
+		t.Error("engine should report stopped")
+	}
+	e.Resume()
+	e.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5 after Resume", count)
+	}
+}
+
+func TestAtAbsoluteTime(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(7, func() { at = e.Now() })
+	e.Run()
+	if at != 7 {
+		t.Errorf("fired at %v, want 7", at)
+	}
+}
+
+func TestScheduleZeroDelay(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(0, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Errorf("zero-delay event: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	e := New()
+	for _, fn := range []func(){
+		func() { e.Schedule(-1, func() {}) },
+		func() { e.At(-0.5, func() {}) },
+		func() { e.RunUntil(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAtPastTimePanicsAfterAdvance(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	e.At(3, func() {})
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty engine returned true")
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import "errors"
+
+// Autocorrelation returns the sample autocorrelation function of xs at
+// lags 0..maxLag (inclusive), with the standard biased normalization
+// by the lag-0 autocovariance. It is the diagnostic behind the
+// batch-means batch-count choice: batches should span several
+// integrated autocorrelation times.
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, errors.New("stats: too few observations for autocorrelation")
+	}
+	if maxLag < 0 {
+		return nil, errors.New("stats: negative lag")
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	var m Summary
+	m.AddAll(xs)
+	mean := m.Mean()
+	denom := 0.0
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return nil, errors.New("stats: constant series has undefined autocorrelation")
+	}
+	acf := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		num := 0.0
+		for i := 0; i+lag < n; i++ {
+			num += (xs[i] - mean) * (xs[i+lag] - mean)
+		}
+		acf[lag] = num / denom
+	}
+	return acf, nil
+}
+
+// IntegratedAutocorrTime estimates the integrated autocorrelation time
+// tau = 1 + 2*sum_{k>=1} rho_k, truncating the sum at the first
+// non-positive autocorrelation (the initial positive sequence
+// estimator). The effective sample size of a correlated series of
+// length n is roughly n/tau.
+func IntegratedAutocorrTime(xs []float64) (float64, error) {
+	maxLag := len(xs) / 4
+	if maxLag < 1 {
+		maxLag = 1
+	}
+	acf, err := Autocorrelation(xs, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	tau := 1.0
+	for lag := 1; lag < len(acf); lag++ {
+		if acf[lag] <= 0 {
+			break
+		}
+		tau += 2 * acf[lag]
+	}
+	return tau, nil
+}

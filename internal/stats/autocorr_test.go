@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestAutocorrelationIID(t *testing.T) {
+	rng := numeric.NewRand(1)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf, err := Autocorrelation(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 {
+		t.Errorf("rho_0 = %v, want 1", acf[0])
+	}
+	for lag := 1; lag <= 5; lag++ {
+		if math.Abs(acf[lag]) > 0.03 {
+			t.Errorf("iid rho_%d = %v, want ~0", lag, acf[lag])
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	const rho = 0.7
+	rng := numeric.NewRand(3)
+	xs := ar1(50000, rho, rng)
+	acf, err := Autocorrelation(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag := 1; lag <= 3; lag++ {
+		want := math.Pow(rho, float64(lag))
+		if math.Abs(acf[lag]-want) > 0.05 {
+			t.Errorf("rho_%d = %v, want ~%v", lag, acf[lag], want)
+		}
+	}
+}
+
+func TestIntegratedAutocorrTime(t *testing.T) {
+	// For AR(1), tau = (1+rho)/(1-rho).
+	const rho = 0.6
+	rng := numeric.NewRand(5)
+	xs := ar1(100000, rho, rng)
+	tau, err := IntegratedAutocorrTime(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + rho) / (1 - rho) // 4
+	if math.Abs(tau-want)/want > 0.15 {
+		t.Errorf("tau = %v, want ~%v", tau, want)
+	}
+	// IID series has tau ~ 1.
+	iid := make([]float64, 50000)
+	for i := range iid {
+		iid[i] = rng.NormFloat64()
+	}
+	tau, err = IntegratedAutocorrTime(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-1) > 0.2 {
+		t.Errorf("iid tau = %v, want ~1", tau)
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1}, 1); err == nil {
+		t.Error("expected error for tiny series")
+	}
+	if _, err := Autocorrelation([]float64{1, 2}, -1); err == nil {
+		t.Error("expected error for negative lag")
+	}
+	if _, err := Autocorrelation([]float64{3, 3, 3}, 1); err == nil {
+		t.Error("expected error for constant series")
+	}
+	// Lag clamp.
+	acf, err := Autocorrelation([]float64{1, 2, 1, 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acf) != 4 {
+		t.Errorf("clamped acf length = %d", len(acf))
+	}
+}
+
+func TestQueueSojournsAreCorrelated(t *testing.T) {
+	// The fact motivating batch means: consecutive M/M/1 sojourns have
+	// tau substantially above 1 at moderate utilization.
+	// (Generated here via an AR-like queue recursion using Lindley's
+	// equation: W_{n+1} = max(0, W_n + S_n - A_n).)
+	rng := numeric.NewRand(7)
+	const mu, lambda = 1.0, 0.7
+	w := 0.0
+	sojourns := make([]float64, 60000)
+	for i := range sojourns {
+		s := rng.ExpFloat64() / mu
+		sojourns[i] = w + s
+		a := rng.ExpFloat64() / lambda
+		w = math.Max(0, w+s-a)
+	}
+	tau, err := IntegratedAutocorrTime(sojourns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 3 {
+		t.Errorf("queue sojourn tau = %v, expected substantial correlation", tau)
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// BatchMeans estimates the mean of a correlated stationary series and
+// the standard error of that mean by the method of batch means: the
+// series is cut into `batches` contiguous batches, and the variance of
+// the batch means (which are nearly independent when batches are long
+// compared to the autocorrelation time) replaces the naive i.i.d.
+// variance. This is the standard tool for steady-state queueing
+// simulation output, where successive sojourn times are strongly
+// correlated and i.i.d. confidence intervals under-cover.
+//
+// batches <= 0 selects ceil(sqrt(n)) capped at 64. At least 2 batches
+// with at least 2 observations each are required.
+func BatchMeans(xs []float64, batches int) (mean, stderr float64, err error) {
+	n := len(xs)
+	if n < 4 {
+		return 0, 0, errors.New("stats: too few observations for batch means")
+	}
+	if batches <= 0 {
+		batches = int(math.Ceil(math.Sqrt(float64(n))))
+		if batches > 64 {
+			batches = 64
+		}
+	}
+	if batches < 2 {
+		batches = 2
+	}
+	if batches > n/2 {
+		batches = n / 2
+	}
+	size := n / batches // drop the ragged tail
+	var overall Summary
+	var batchStats Summary
+	for b := 0; b < batches; b++ {
+		var bm Summary
+		for i := b * size; i < (b+1)*size; i++ {
+			bm.Add(xs[i])
+			overall.Add(xs[i])
+		}
+		batchStats.Add(bm.Mean())
+	}
+	// Var of the grand mean = Var(batch means)/batches.
+	se := batchStats.Std() / math.Sqrt(float64(batches))
+	return overall.Mean(), se, nil
+}

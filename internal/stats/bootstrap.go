@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// Bootstrap resamples xs with replacement `resamples` times, applies
+// stat to each resample, and returns the (alpha/2, 1-alpha/2)
+// percentile interval of the statistic. It is used to attach
+// distribution-free confidence intervals to simulation outputs.
+func Bootstrap(xs []float64, stat func([]float64) float64, resamples int, alpha float64, rng *numeric.Rand) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: Bootstrap of empty sample")
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		vals[r] = stat(buf)
+	}
+	sort.Float64s(vals)
+	loIdx := int(alpha / 2 * float64(resamples))
+	hiIdx := int((1 - alpha/2) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return vals[loIdx], vals[hiIdx]
+}

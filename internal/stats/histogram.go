@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into equal-width bins over [Lo, Hi).
+// Observations outside the range are tallied in dedicated underflow
+// and overflow counters rather than silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram with n equal-width bins over
+// [lo, hi). It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram with non-positive bin count")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with empty range")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against rounding at the edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations tallied, including under-
+// and overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// Mode returns the midpoint of the most populated bin, or NaN when the
+// histogram is empty.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := -1, 0
+	for i, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return math.NaN()
+	}
+	return h.Lo + (float64(best)+0.5)*h.BinWidth()
+}
+
+// String renders the histogram as a compact ASCII bar chart, one line
+// per bin, scaled to a 40-character bar.
+func (h *Histogram) String() string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*h.BinWidth()
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %6d %s\n",
+			lo, lo+h.BinWidth(), c, strings.Repeat("#", bar))
+	}
+	if h.Underflow > 0 || h.Overflow > 0 {
+		fmt.Fprintf(&b, "underflow %d, overflow %d\n", h.Underflow, h.Overflow)
+	}
+	return b.String()
+}

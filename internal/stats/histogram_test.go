@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{0, 0.5, 1, 5.5, 9.999} {
+		h.Add(x)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-1)
+	h.Add(2)
+	h.Add(1) // hi is exclusive
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("underflow %d overflow %d, want 1 and 2", h.Underflow, h.Overflow)
+	}
+}
+
+func TestHistogramModeOfNormal(t *testing.T) {
+	h := NewHistogram(-5, 5, 50)
+	rng := numeric.NewRand(77)
+	for i := 0; i < 100000; i++ {
+		h.Add(rng.NormFloat64())
+	}
+	if m := h.Mode(); math.Abs(m) > 0.3 {
+		t.Errorf("mode of standard normal = %v, want ~0", m)
+	}
+}
+
+func TestHistogramModeEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	if m := h.Mode(); !math.IsNaN(m) {
+		t.Errorf("empty histogram mode = %v, want NaN", m)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(5)
+	s := h.String()
+	if !strings.Contains(s, "overflow 1") {
+		t.Errorf("String missing overflow note:\n%s", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Errorf("String has no bars:\n%s", s)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := numeric.NewRand(101)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 50 + 5*rng.NormFloat64()
+	}
+	lo, hi := Bootstrap(xs, func(s []float64) float64 { return numeric.Mean(s) }, 2000, 0.05, rng)
+	if lo > 50 || hi < 50 {
+		t.Errorf("bootstrap CI (%v, %v) misses true mean 50", lo, hi)
+	}
+	if hi-lo > 2 {
+		t.Errorf("bootstrap CI width %v implausibly wide", hi-lo)
+	}
+}
+
+func TestBootstrapPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bootstrap(nil, numeric.Mean, 10, 0.05, numeric.NewRand(1))
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if got, want := s.Var(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	lo, hi := s.CI95()
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty CI95 = (%v, %v)", lo, hi)
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Var() != 0 {
+		t.Errorf("single-point summary: mean %v var %v", s.Mean(), s.Var())
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Error("single-point min/max wrong")
+	}
+}
+
+func TestSummaryCI95CoversMean(t *testing.T) {
+	var s Summary
+	rng := numeric.NewRand(5)
+	for i := 0; i < 10000; i++ {
+		s.Add(10 + rng.NormFloat64())
+	}
+	lo, hi := s.CI95()
+	if lo > 10 || hi < 10 {
+		t.Errorf("CI95 (%v, %v) does not cover true mean 10", lo, hi)
+	}
+	if hi-lo > 0.1 {
+		t.Errorf("CI95 width %v too wide for n=10000", hi-lo)
+	}
+}
+
+// Property: merging two summaries equals summarizing the concatenation.
+func TestSummaryMergeEquivalence(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				return true
+			}
+		}
+		var s1, s2, all Summary
+		s1.AddAll(a)
+		s2.AddAll(b)
+		all.AddAll(a)
+		all.AddAll(b)
+		s1.Merge(&s2)
+		if s1.N() != all.N() {
+			return false
+		}
+		if s1.N() == 0 {
+			return true
+		}
+		return numeric.AlmostEqual(s1.Mean(), all.Mean(), 1e-9, 1e-9) &&
+			numeric.AlmostEqual(s1.Var(), all.Var(), 1e-6, 1e-9) &&
+			s1.Min() == all.Min() && s1.Max() == all.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q25 = %v, want 2", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("interpolated q30 = %v, want 3", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v, want 0.1", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace checks that arbitrary bytes never panic the trace
+// parser, and that valid parses round-trip through Save.
+func FuzzLoadTrace(f *testing.F) {
+	f.Add([]byte("id,arrival,size\n0,0.5,1\n1,0.9,2\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("id,arrival,size\nx,y,z\n"))
+	f.Add([]byte("\"unterminated"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := LoadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("Save after successful Load: %v", err)
+		}
+		again, err := LoadTrace(&buf)
+		if err != nil {
+			t.Fatalf("reload failed: %v", err)
+		}
+		if len(again) != len(tr) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tr), len(again))
+		}
+		for i := range tr {
+			// NaN != NaN, so compare the serialized forms instead of
+			// the structs when fields are NaN.
+			if tr[i] != again[i] && !strings.Contains(buf.String(), "NaN") {
+				t.Fatalf("row %d changed: %+v -> %+v", i, tr[i], again[i])
+			}
+		}
+	})
+}

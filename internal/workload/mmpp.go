@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// MMPP is a two-state Markov-modulated Poisson process: arrivals
+// follow a Poisson process whose rate switches between RateA and
+// RateB, with exponential state holding times of mean 1/SwitchA (time
+// spent in state A before flipping) and 1/SwitchB. It produces bursty
+// traffic — interarrival coefficient of variation above 1 — and is
+// used to stress-test estimators and queues beyond the smooth Poisson
+// assumption.
+type MMPP struct {
+	rateA, rateB     float64
+	switchA, switchB float64
+	sizes            SizeDist
+	rng              *numeric.Rand
+
+	n      int64
+	next   int64
+	now    float64
+	inB    bool
+	toFlip float64 // time of the next state flip
+}
+
+// NewMMPP returns an MMPP source emitting n jobs. rateA/rateB are the
+// per-state arrival rates; switchA/switchB the state leave rates. dist
+// may be nil for unit sizes.
+func NewMMPP(rateA, rateB, switchA, switchB float64, n int, dist SizeDist, rng *numeric.Rand) *MMPP {
+	for _, v := range []float64{rateA, rateB, switchA, switchB} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("workload: invalid MMPP parameter %v", v))
+		}
+	}
+	if n <= 0 {
+		panic("workload: non-positive job count")
+	}
+	if dist == nil {
+		dist = ConstSize{}
+	}
+	if rng == nil {
+		rng = numeric.NewRand(1)
+	}
+	m := &MMPP{
+		rateA: rateA, rateB: rateB,
+		switchA: switchA, switchB: switchB,
+		sizes: dist, rng: rng, n: int64(n),
+	}
+	m.toFlip = m.rng.ExpFloat64() / m.switchA
+	return m
+}
+
+// MeanRate returns the long-run arrival rate: the stationary
+// distribution of the modulating chain weights the per-state rates.
+func (m *MMPP) MeanRate() float64 {
+	// pi_A = switchB/(switchA+switchB) — the chain spends time
+	// proportional to its mean holding time in each state.
+	den := 1/m.switchA + 1/m.switchB
+	return (m.rateA*(1/m.switchA) + m.rateB*(1/m.switchB)) / den
+}
+
+// Next implements Source.
+func (m *MMPP) Next() (Job, bool) {
+	if m.next >= m.n {
+		return Job{}, false
+	}
+	for {
+		rate := m.rateA
+		if m.inB {
+			rate = m.rateB
+		}
+		dt := m.rng.ExpFloat64() / rate
+		if m.now+dt < m.toFlip {
+			m.now += dt
+			j := Job{ID: m.next, Arrival: m.now, Size: m.sizes.Sample(m.rng)}
+			m.next++
+			return j, true
+		}
+		// The state flips before the candidate arrival; by the
+		// memorylessness of the exponential we restart the arrival
+		// clock in the new state.
+		m.now = m.toFlip
+		m.inB = !m.inB
+		leave := m.switchA
+		if m.inB {
+			leave = m.switchB
+		}
+		m.toFlip = m.now + m.rng.ExpFloat64()/leave
+	}
+}

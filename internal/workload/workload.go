@@ -1,0 +1,251 @@
+// Package workload generates job arrival streams for the cluster
+// simulator: Poisson and deterministic arrival processes, pluggable
+// job-size distributions (constant, exponential, lognormal, Pareto —
+// all normalized to mean 1), and CSV trace record/replay so that
+// experiments can be rerun on identical inputs.
+package workload
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/numeric"
+)
+
+// Job is one unit of work arriving at the distributed system.
+type Job struct {
+	// ID is a sequence number unique within a stream.
+	ID int64
+	// Arrival is the absolute arrival time in seconds.
+	Arrival float64
+	// Size is the job's service demand relative to a mean job
+	// (dimensionless, mean 1 across a stream).
+	Size float64
+}
+
+// Source is an ordered stream of jobs with nondecreasing arrival
+// times.
+type Source interface {
+	// Next returns the next job; ok is false when the stream is
+	// exhausted.
+	Next() (job Job, ok bool)
+}
+
+// SizeDist samples job sizes. Implementations are normalized so the
+// mean size is 1.
+type SizeDist interface {
+	// Sample draws one job size.
+	Sample(rng *numeric.Rand) float64
+	// String names the distribution.
+	String() string
+}
+
+// ConstSize is the degenerate distribution: every job has size 1.
+type ConstSize struct{}
+
+// Sample implements SizeDist.
+func (ConstSize) Sample(*numeric.Rand) float64 { return 1 }
+
+func (ConstSize) String() string { return "const" }
+
+// ExpSize is the exponential distribution with mean 1 (M/M/1 service).
+type ExpSize struct{}
+
+// Sample implements SizeDist.
+func (ExpSize) Sample(rng *numeric.Rand) float64 { return rng.ExpFloat64() }
+
+func (ExpSize) String() string { return "exp" }
+
+// LognormalSize is a lognormal distribution with unit mean and shape
+// Sigma (the sigma of the underlying normal). Larger Sigma means a
+// heavier tail.
+type LognormalSize struct {
+	Sigma float64
+}
+
+// Sample implements SizeDist.
+func (d LognormalSize) Sample(rng *numeric.Rand) float64 {
+	// mean = exp(mu + sigma^2/2) = 1  =>  mu = -sigma^2/2.
+	mu := -d.Sigma * d.Sigma / 2
+	return math.Exp(mu + d.Sigma*rng.NormFloat64())
+}
+
+func (d LognormalSize) String() string { return fmt.Sprintf("lognormal(sigma=%g)", d.Sigma) }
+
+// ParetoSize is a Pareto distribution with unit mean and tail index
+// Alpha > 1 (smaller Alpha = heavier tail; Alpha <= 2 has infinite
+// variance).
+type ParetoSize struct {
+	Alpha float64
+}
+
+// Sample implements SizeDist.
+func (d ParetoSize) Sample(rng *numeric.Rand) float64 {
+	// mean = alpha*xm/(alpha-1) = 1 => xm = (alpha-1)/alpha.
+	xm := (d.Alpha - 1) / d.Alpha
+	u := 1 - rng.Float64() // (0, 1]
+	return xm / math.Pow(u, 1/d.Alpha)
+}
+
+func (d ParetoSize) String() string { return fmt.Sprintf("pareto(alpha=%g)", d.Alpha) }
+
+// Poisson is a Poisson arrival process with the given rate, emitting a
+// fixed number of jobs with sizes drawn from Sizes.
+type Poisson struct {
+	rate  float64
+	n     int64
+	sizes SizeDist
+	rng   *numeric.Rand
+
+	next int64
+	now  float64
+}
+
+// NewPoisson returns a Poisson source emitting n jobs at the given
+// arrival rate (jobs per second) with sizes from dist (ConstSize if
+// nil). It panics on non-positive rate or n.
+func NewPoisson(rate float64, n int, dist SizeDist, rng *numeric.Rand) *Poisson {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("workload: invalid rate %v", rate))
+	}
+	if n <= 0 {
+		panic("workload: non-positive job count")
+	}
+	if dist == nil {
+		dist = ConstSize{}
+	}
+	if rng == nil {
+		rng = numeric.NewRand(1)
+	}
+	return &Poisson{rate: rate, n: int64(n), sizes: dist, rng: rng}
+}
+
+// Next implements Source.
+func (p *Poisson) Next() (Job, bool) {
+	if p.next >= p.n {
+		return Job{}, false
+	}
+	p.now += p.rng.ExpFloat64() / p.rate
+	j := Job{ID: p.next, Arrival: p.now, Size: p.sizes.Sample(p.rng)}
+	p.next++
+	return j, true
+}
+
+// Deterministic emits n jobs of size 1 at exactly even spacing 1/rate.
+type Deterministic struct {
+	rate float64
+	n    int64
+	next int64
+}
+
+// NewDeterministic returns a deterministic arrival source.
+func NewDeterministic(rate float64, n int) *Deterministic {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("workload: invalid rate %v", rate))
+	}
+	if n <= 0 {
+		panic("workload: non-positive job count")
+	}
+	return &Deterministic{rate: rate, n: int64(n)}
+}
+
+// Next implements Source.
+func (d *Deterministic) Next() (Job, bool) {
+	if d.next >= d.n {
+		return Job{}, false
+	}
+	j := Job{ID: d.next, Arrival: float64(d.next+1) / d.rate, Size: 1}
+	d.next++
+	return j, true
+}
+
+// Trace is a materialized job stream that can be saved, loaded and
+// replayed.
+type Trace []Job
+
+// Record drains up to n jobs from src into a Trace (all jobs if
+// n <= 0).
+func Record(src Source, n int) Trace {
+	var t Trace
+	for n <= 0 || len(t) < n {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		t = append(t, j)
+	}
+	return t
+}
+
+// Replay returns a Source that yields the trace's jobs in order.
+func (t Trace) Replay() Source { return &traceSource{trace: t} }
+
+type traceSource struct {
+	trace Trace
+	next  int
+}
+
+func (s *traceSource) Next() (Job, bool) {
+	if s.next >= len(s.trace) {
+		return Job{}, false
+	}
+	j := s.trace[s.next]
+	s.next++
+	return j, true
+}
+
+// Save writes the trace as CSV (id,arrival,size) with a header row.
+func (t Trace) Save(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "arrival", "size"}); err != nil {
+		return err
+	}
+	for _, j := range t {
+		rec := []string{
+			strconv.FormatInt(j.ID, 10),
+			strconv.FormatFloat(j.Arrival, 'g', 17, 64),
+			strconv.FormatFloat(j.Size, 'g', 17, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadTrace parses a CSV trace written by Save.
+func LoadTrace(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("workload: empty trace file")
+	}
+	var t Trace
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("workload: trace row %d has %d fields", i+2, len(row))
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d id: %w", i+2, err)
+		}
+		arr, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d arrival: %w", i+2, err)
+		}
+		size, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d size: %w", i+2, err)
+		}
+		t = append(t, Job{ID: id, Arrival: arr, Size: size})
+	}
+	return t, nil
+}
