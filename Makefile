@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The acceptance gate: static analysis plus the full suite (chaos
+# matrix included) under the race detector.
+check: vet race
+
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/supervise

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lbrounds -rounds 20 -exec-factor 2 -strikes 2 -ban 3
+//	lbrounds -rounds 20 -faults drop=0.05,crash=7 -retries 2
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/protocol"
 	"repro/internal/report"
 	"repro/internal/rounds"
@@ -28,7 +30,19 @@ func main() {
 	ban := flag.Int("ban", 3, "suspension length in rounds")
 	jobs := flag.Int("jobs", 20000, "simulated jobs per round")
 	seed := flag.Uint64("seed", 1, "random seed")
+	faultSpec := flag.String("faults", "", "fault plan, e.g. drop=0.05,crash=7 (see package faults)")
+	retries := flag.Int("retries", 0, "per-round retries before degrading to the responsive computers")
 	flag.Parse()
+
+	var inj faults.Injector
+	if *faultSpec != "" {
+		plan, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbrounds:", err)
+			os.Exit(1)
+		}
+		inj = plan
+	}
 
 	pop := make([]rounds.ComputerSpec, 16)
 	for i, tv := range experiments.PaperTrueValues() {
@@ -43,6 +57,8 @@ func main() {
 		JobsPerRound: *jobs,
 		Seed:         *seed,
 		Policy:       rounds.Policy{Strikes: *strikes, BanRounds: *ban, ForgiveAfter: 10},
+		Faults:       inj,
+		MaxRetries:   *retries,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbrounds:", err)
@@ -52,7 +68,7 @@ func main() {
 	tab := report.NewTable(
 		fmt.Sprintf("Multi-round system: C1 bids %.3g*t, executes %.3g*t; %d strikes -> %d-round ban.",
 			*bidFactor, *execFactor, *strikes, *ban),
-		"Round", "Active", "Latency", "Optimum (active)", "Flagged", "Suspended")
+		"Round", "Active", "Latency", "Optimum (active)", "Flagged", "Suspended", "Attempts", "Dropouts")
 	for _, rec := range res.Records {
 		tab.AddRow(
 			fmt.Sprintf("%d", rec.Round),
@@ -61,6 +77,8 @@ func main() {
 			report.FormatFloat(rec.OptLatency),
 			joinInts(rec.Flagged),
 			joinInts(rec.Suspended),
+			fmt.Sprintf("%d", rec.Attempts),
+			joinInts(rec.Dropouts),
 		)
 	}
 	tab.Render(os.Stdout)

@@ -7,6 +7,7 @@
 //
 //	lbsim -experiment Low2 -jobs 100000 -seed 7   # a paper Table 2 scenario
 //	lbsim -scenario system.json                   # a custom JSON scenario
+//	lbsim -faults drop=0.1,stall=2@500:10 -dropouts   # inject faults
 //
 // A scenario file looks like:
 //
@@ -25,6 +26,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/protocol"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -35,7 +37,18 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "path to a JSON scenario file (overrides -experiment)")
 	jobs := flag.Int("jobs", 100000, "number of jobs to simulate")
 	seed := flag.Uint64("seed", 1, "random seed")
+	faultSpec := flag.String("faults", "", "fault plan, e.g. drop=0.1,silent=3,stall=2@500:10 (see package faults)")
+	dropouts := flag.Bool("dropouts", false, "tolerate agents whose bids never arrive instead of aborting")
 	flag.Parse()
+
+	plan, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var inj faults.Injector
+	if *faultSpec != "" {
+		inj = plan
+	}
 
 	var res *protocol.Result
 	var header string
@@ -48,6 +61,12 @@ func main() {
 		f.Close()
 		if err != nil {
 			fatal(err)
+		}
+		if inj != nil {
+			s.Faults = inj
+		}
+		if *dropouts {
+			s.AllowDropouts = true
 		}
 		res, err = s.Run()
 		if err != nil {
@@ -62,11 +81,13 @@ func main() {
 		strategies := make([]protocol.Strategy, 16)
 		strategies[0] = protocol.FactorStrategy{BidFactor: exp.BidFactor, ExecFactor: exp.ExecFactor}
 		res, err = protocol.Run(protocol.Config{
-			Trues:      experiments.PaperTrueValues(),
-			Strategies: strategies,
-			Rate:       experiments.PaperRate,
-			Jobs:       *jobs,
-			Seed:       *seed,
+			Trues:         experiments.PaperTrueValues(),
+			Strategies:    strategies,
+			Rate:          experiments.PaperRate,
+			Jobs:          *jobs,
+			Seed:          *seed,
+			Faults:        inj,
+			AllowDropouts: *dropouts,
 		})
 		if err != nil {
 			fatal(err)
@@ -80,6 +101,10 @@ func main() {
 func printResult(header string, res *protocol.Result) {
 	fmt.Println(header)
 	fmt.Printf("protocol messages: %d\n", res.Messages)
+	if res.Lost > 0 || len(res.Dropped) > 0 {
+		fmt.Printf("fault layer: %d messages lost, dropped agents: %s\n",
+			res.Lost, joinOrNone(res.Dropped))
+	}
 	fmt.Printf("simulated %d jobs over %.1f s of virtual time\n\n",
 		totalJobs(res), res.Sim.Duration)
 
@@ -117,6 +142,17 @@ func totalJobs(res *protocol.Result) int {
 		n += s.Jobs
 	}
 	return n
+}
+
+func joinOrNone(names []string) string {
+	if len(names) == 0 {
+		return "none"
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += "," + n
+	}
+	return out
 }
 
 func fatal(err error) {

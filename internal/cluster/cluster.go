@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/numeric"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -125,6 +126,11 @@ type Result struct {
 	PerNode []NodeStats
 	// MeanResponse is the mean latency across all jobs.
 	MeanResponse float64
+	// LostJobs counts jobs the fault layer dropped (dispatched to a
+	// crashed node or lost in transit); they never execute.
+	LostJobs int
+	// DuplicatedJobs counts jobs the fault layer dispatched twice.
+	DuplicatedJobs int
 	// TotalLatencyRate is the flow-model total latency
 	// sum_i x̂_i * mean latency_i, directly comparable to the paper's
 	// L(x) = sum_i x_i * l_i(x_i).
@@ -149,6 +155,12 @@ type Config struct {
 	// steady-state statistics. Arrivals still happen during warmup;
 	// only the measurement is suppressed.
 	Warmup float64
+	// Faults injects dispatch-path faults (see package faults): jobs
+	// routed to crashed or silent nodes are lost, message drops lose
+	// jobs in transit, duplicates dispatch a job twice, extra delay
+	// postpones submission, and stalled nodes inflate every k-th
+	// observed latency. Nil injects nothing.
+	Faults faults.Injector
 }
 
 // Run simulates the full job stream through the cluster and returns
@@ -202,6 +214,30 @@ func Run(cfg Config) (*Result, error) {
 		return len(cdf) - 1
 	}
 
+	// dispatch hands a job to node i; extraObs is added to the
+	// observed latency (a stalled node's inflated measurement).
+	dispatch := func(job workload.Job, i int, extraObs float64) {
+		node := cfg.Nodes[i]
+		st := &res.PerNode[i]
+		node.Submit(eng, job, func(lat float64) {
+			if t := eng.Now(); t > res.Duration {
+				res.Duration = t
+			}
+			if eng.Now() < cfg.Warmup {
+				return
+			}
+			lat += extraObs
+			st.Jobs++
+			st.Latency.Add(lat)
+			if cfg.KeepSamples {
+				st.Latencies = append(st.Latencies, lat)
+			}
+			all.Add(lat)
+		})
+	}
+	jobSeq := 0
+	stallCount := make([]int, len(cfg.Nodes))
+
 	// Schedule every arrival up front; the event queue interleaves
 	// them with completions.
 	for {
@@ -211,22 +247,39 @@ func Run(cfg Config) (*Result, error) {
 		}
 		eng.At(job.Arrival, func() {
 			i := pick()
-			node := cfg.Nodes[i]
-			st := &res.PerNode[i]
-			node.Submit(eng, job, func(lat float64) {
-				if t := eng.Now(); t > res.Duration {
-					res.Duration = t
+			if cfg.Faults == nil {
+				dispatch(job, i, 0)
+				return
+			}
+			cls := cfg.Faults.Class(i)
+			if cls == faults.NodeCrashed || cls == faults.NodeSilent {
+				res.LostJobs++
+				return
+			}
+			seq := jobSeq
+			jobSeq++
+			d := cfg.Faults.Deliver(faults.Message{Seq: seq, From: -1, To: i, Kind: "job"})
+			if d.Drop {
+				res.LostJobs++
+				return
+			}
+			extraObs := 0.0
+			if cls == faults.NodeStalled {
+				if delay, every := cfg.Faults.Stall(i); every > 0 && stallCount[i]%every == 0 {
+					extraObs = delay
 				}
-				if eng.Now() < cfg.Warmup {
-					return
-				}
-				st.Jobs++
-				st.Latency.Add(lat)
-				if cfg.KeepSamples {
-					st.Latencies = append(st.Latencies, lat)
-				}
-				all.Add(lat)
-			})
+				stallCount[i]++
+			}
+			deliver := func() { dispatch(job, i, extraObs) }
+			if d.ExtraDelay > 0 {
+				eng.Schedule(d.ExtraDelay, deliver)
+			} else {
+				deliver()
+			}
+			if d.Duplicate {
+				res.DuplicatedJobs++
+				deliver()
+			}
 		})
 	}
 	eng.Run()

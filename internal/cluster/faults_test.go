@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/numeric"
+	"repro/internal/workload"
+)
+
+func twoNodeConfig(seed uint64) Config {
+	rng := numeric.NewRand(seed)
+	nodes, _ := FlowNodes([]float64{1, 2}, []float64{3, 3}, rng.Split())
+	return Config{
+		Nodes:       nodes,
+		Probs:       []float64{0.5, 0.5},
+		Source:      workload.NewPoisson(6, 2000, nil, rng.Split()),
+		RNG:         rng.Split(),
+		KeepSamples: true,
+	}
+}
+
+func TestCrashedNodeLosesItsJobs(t *testing.T) {
+	cfg := twoNodeConfig(3)
+	cfg.Faults = faults.New(1, faults.Crash(1))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerNode[1].Jobs != 0 {
+		t.Fatalf("crashed node completed %d jobs", res.PerNode[1].Jobs)
+	}
+	if res.LostJobs == 0 {
+		t.Fatal("no jobs recorded lost")
+	}
+	if res.PerNode[0].Jobs+res.LostJobs != 2000 {
+		t.Fatalf("jobs %d + lost %d != 2000", res.PerNode[0].Jobs, res.LostJobs)
+	}
+}
+
+func TestDropAndDuplicatePlansAreAccounted(t *testing.T) {
+	cfg := twoNodeConfig(5)
+	cfg.Faults = faults.New(9, faults.Drop(0.1), faults.Duplicate(0.1))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostJobs == 0 || res.DuplicatedJobs == 0 {
+		t.Fatalf("lost=%d duplicated=%d, want both nonzero", res.LostJobs, res.DuplicatedJobs)
+	}
+	total := res.PerNode[0].Jobs + res.PerNode[1].Jobs
+	if total != 2000-res.LostJobs+res.DuplicatedJobs {
+		t.Fatalf("completed %d, want %d", total, 2000-res.LostJobs+res.DuplicatedJobs)
+	}
+}
+
+func TestNilFaultsMatchesNoFaults(t *testing.T) {
+	a, err := Run(twoNodeConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := twoNodeConfig(7)
+	cfg.Faults = faults.New(1) // empty plan: consulted but injects nothing
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse != b.MeanResponse || a.Duration != b.Duration {
+		t.Fatalf("empty plan changed the run: %v/%v vs %v/%v",
+			a.MeanResponse, a.Duration, b.MeanResponse, b.Duration)
+	}
+	if b.LostJobs != 0 || b.DuplicatedJobs != 0 {
+		t.Fatalf("empty plan lost %d duplicated %d", b.LostJobs, b.DuplicatedJobs)
+	}
+}
+
+func TestStalledNodeInflatesObservations(t *testing.T) {
+	cfg := twoNodeConfig(11)
+	cfg.Faults = faults.New(1, faults.Stall(500, 10, 0))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled := 0
+	for _, lat := range res.PerNode[0].Latencies {
+		if lat >= 500 {
+			stalled++
+		}
+	}
+	if stalled == 0 {
+		t.Fatal("no inflated observations at the stalled node")
+	}
+	want := (res.PerNode[0].Jobs + 9) / 10
+	if stalled != want {
+		t.Fatalf("stalled %d of %d observations, want every 10th = %d",
+			stalled, res.PerNode[0].Jobs, want)
+	}
+	for _, lat := range res.PerNode[1].Latencies {
+		if lat >= 500 {
+			t.Fatal("healthy node shows stalls")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package distmech
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/mech"
+)
+
+// Typed round-outcome errors. Supervisors classify failures by
+// matching these with errors.Is, so every way a round can fail has
+// exactly one sentinel.
+var (
+	// ErrRootCrashed means the fault plan marks the coordinator
+	// (node 0) crashed or silent; the round cannot even start.
+	ErrRootCrashed = errors.New("distmech: the coordinator (node 0) cannot crash")
+	// ErrQuorumLost means fewer than two nodes stayed reachable — the
+	// minimum the PR allocation needs.
+	ErrQuorumLost = errors.New("distmech: fewer than two reachable nodes")
+	// ErrAggregationIncomplete means the convergecast never delivered
+	// an aggregate S to the coordinator.
+	ErrAggregationIncomplete = errors.New("distmech: aggregation did not complete")
+	// ErrDeadlineExceeded means the round was cut off by
+	// Config.Deadline with work still pending.
+	ErrDeadlineExceeded = errors.New("distmech: round deadline exceeded")
+	// ErrDisseminationIncomplete means some nodes contributed to the
+	// aggregate but never received it back, so their allocations are
+	// unassigned and the round under-serves the rate.
+	ErrDisseminationIncomplete = errors.New("distmech: aggregate never reached some contributors")
+	// ErrConservation means the assembled allocation does not conserve
+	// the arrival rate.
+	ErrConservation = errors.New("distmech: allocation failed conservation")
+)
+
+// IndexError reports a node index outside [0, n) in a Config field.
+type IndexError struct {
+	// Field names the offending Config field.
+	Field string
+	// Index is the bad value; N is the node count.
+	Index, N int
+}
+
+// Error implements error.
+func (e *IndexError) Error() string {
+	return fmt.Sprintf("distmech: %s index %d out of range [0, %d)", e.Field, e.Index, e.N)
+}
+
+// ValueError reports an out-of-domain numeric Config field.
+type ValueError struct {
+	// Field names the offending Config field.
+	Field string
+	// Value is the rejected value.
+	Value float64
+}
+
+// Error implements error.
+func (e *ValueError) Error() string {
+	return fmt.Sprintf("distmech: invalid %s %g", e.Field, e.Value)
+}
+
+// Validate checks a Config before any simulation work: tree shape,
+// agent count and parameters, numeric field domains, and the legacy
+// fault knobs. It returns typed errors (IndexError, ValueError,
+// ErrRootCrashed, mech.ErrNeedTwoAgents or a topology error) rather
+// than panicking or silently ignoring bad entries.
+func (cfg Config) Validate() error {
+	if err := cfg.Tree.Validate(); err != nil {
+		return err
+	}
+	n := cfg.Tree.N()
+	if len(cfg.Agents) != n {
+		return fmt.Errorf("distmech: %d agents for %d tree nodes", len(cfg.Agents), n)
+	}
+	if n < 2 {
+		return mech.ErrNeedTwoAgents
+	}
+	if cfg.Rate <= 0 || math.IsNaN(cfg.Rate) {
+		return &ValueError{Field: "rate", Value: cfg.Rate}
+	}
+	for i, a := range cfg.Agents {
+		if a.Bid <= 0 || math.IsNaN(a.Bid) {
+			return &ValueError{Field: fmt.Sprintf("agent %d bid", i), Value: a.Bid}
+		}
+		if a.Exec <= 0 || math.IsNaN(a.Exec) {
+			return &ValueError{Field: fmt.Sprintf("agent %d exec", i), Value: a.Exec}
+		}
+	}
+	if cfg.HopDelay < 0 || math.IsNaN(cfg.HopDelay) {
+		return &ValueError{Field: "hop delay", Value: cfg.HopDelay}
+	}
+	if cfg.Timeout < 0 || math.IsNaN(cfg.Timeout) {
+		return &ValueError{Field: "timeout", Value: cfg.Timeout}
+	}
+	if cfg.Deadline < 0 || math.IsNaN(cfg.Deadline) {
+		return &ValueError{Field: "deadline", Value: cfg.Deadline}
+	}
+	for _, i := range cfg.CheatPayments {
+		if i < 0 || i >= n {
+			return &IndexError{Field: "CheatPayments", Index: i, N: n}
+		}
+	}
+	for _, i := range cfg.Crashed {
+		if i < 0 || i >= n {
+			return &IndexError{Field: "Crashed", Index: i, N: n}
+		}
+		if i == 0 {
+			return ErrRootCrashed
+		}
+	}
+	return nil
+}
+
+// FaultInjector returns the effective injector a Run of cfg uses: the
+// explicit Faults field merged with adapters for the deprecated
+// Crashed and CheatPayments knobs, which keep working but now share
+// the faults layer as the single source of truth.
+func (cfg Config) FaultInjector() faults.Injector {
+	var opts []faults.Option
+	if len(cfg.Crashed) > 0 {
+		opts = append(opts, faults.Crash(cfg.Crashed...))
+	}
+	if len(cfg.CheatPayments) > 0 {
+		opts = append(opts, faults.Byzantine(0, cfg.CheatPayments...))
+	}
+	if len(opts) == 0 {
+		return faults.Merge(cfg.Faults)
+	}
+	return faults.Merge(cfg.Faults, faults.New(0, opts...))
+}

@@ -1,10 +1,10 @@
 package distmech
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/mech"
 	"repro/internal/numeric"
 	"repro/internal/sim"
@@ -24,14 +24,23 @@ type Config struct {
 	// HopDelay is the per-message network latency in simulated
 	// seconds (default 0.001).
 	HopDelay float64
+	// Faults injects message- and node-level faults into the round
+	// (see package faults). Nil injects nothing.
+	Faults faults.Injector
 	// CheatPayments marks nodes that over-claim their self-computed
 	// payment by 10% — the fault the parent audit must catch.
+	//
+	// Deprecated: a thin adapter over faults.Byzantine; prefer
+	// composing a fault plan in Faults.
 	CheatPayments []int
 	// Crashed marks fail-stop nodes: they never respond, cutting off
 	// their whole subtree. Parents time out waiting for them and
 	// proceed with partial aggregates; the coordinator learns the
 	// missing set from the convergecast and the round completes over
 	// the reachable nodes. The root (node 0) cannot crash.
+	//
+	// Deprecated: a thin adapter over faults.Crash; prefer composing
+	// a fault plan in Faults.
 	Crashed []int
 	// Timeout is how long a parent waits for a child's aggregate
 	// before giving up, in simulated seconds. The default is a
@@ -39,6 +48,10 @@ type Config struct {
 	// budget), long enough for a healthy subtree of any shape to
 	// respond even when timeouts fire further down.
 	Timeout float64
+	// Deadline cuts the whole round off at this simulated time; work
+	// still pending then surfaces as ErrDeadlineExceeded. Zero means
+	// no deadline.
+	Deadline float64
 }
 
 // Result is the outcome of a distributed round.
@@ -55,24 +68,23 @@ type Result struct {
 	// Flagged lists nodes whose claimed payment failed the parent
 	// audit.
 	Flagged []int
-	// Missing lists nodes cut off by crashes (the crashed nodes and
-	// their subtrees); their allocations and payments are zero.
+	// Missing lists nodes cut off by crashes or lost messages (the
+	// unreachable nodes and their subtrees); their allocations and
+	// payments are zero.
 	Missing []int
-	// Messages is the total number of tree messages.
+	// ClaimsOutstanding counts payment claims the audit convergecast
+	// never received (lost or stalled messages): the round's
+	// allocation is complete but its audit coverage is not.
+	ClaimsOutstanding int
+	// Messages is the total number of logical tree messages sent.
 	Messages int
+	// Lost counts messages the fault layer dropped.
+	Lost int
+	// Duplicated counts messages the fault layer delivered twice.
+	Duplicated int
 	// CompletionTime is the simulated time at which the round ended.
 	CompletionTime float64
 }
-
-// message kinds on the tree
-type msgKind int
-
-const (
-	msgRequest msgKind = iota
-	msgAggregate
-	msgDisseminate
-	msgClaim
-)
 
 // Run executes one distributed round on the discrete-event engine:
 //
@@ -86,44 +98,29 @@ const (
 //     its child's payment from the child's disclosed (b, ť) and
 //     flagging mismatches.
 //
-// The returned message count is exactly 4(n-1) and the completion time
-// ~ (4*depth)*HopDelay, both properties the tests pin down.
+// All messages travel through the fault layer (Config.Faults plus the
+// deprecated knob adapters): drops, duplicates, jitter, reordering,
+// sender stalls, fail-stop crashes and Byzantine payment claims all
+// act on this one path, and the receivers are duplicate- and
+// late-message-safe. In a fault-free round the message count is
+// exactly 4(n-1) and the completion time ~ (4*depth)*HopDelay, both
+// properties the tests pin down.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Tree.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	n := cfg.Tree.N()
-	if len(cfg.Agents) != n {
-		return nil, fmt.Errorf("distmech: %d agents for %d tree nodes", len(cfg.Agents), n)
+	inj := cfg.FaultInjector()
+	dead := func(i int) bool {
+		c := inj.Class(i)
+		return c == faults.NodeCrashed || c == faults.NodeSilent
 	}
-	if n < 2 {
-		return nil, mech.ErrNeedTwoAgents
-	}
-	if cfg.Rate <= 0 || math.IsNaN(cfg.Rate) {
-		return nil, fmt.Errorf("distmech: invalid rate %g", cfg.Rate)
-	}
-	for i, a := range cfg.Agents {
-		if a.Bid <= 0 || a.Exec <= 0 {
-			return nil, fmt.Errorf("distmech: agent %d has invalid parameters", i)
-		}
+	if dead(0) {
+		return nil, ErrRootCrashed
 	}
 	hop := cfg.HopDelay
-	if hop <= 0 {
+	if hop == 0 {
 		hop = 0.001
-	}
-	cheat := map[int]bool{}
-	for _, i := range cfg.CheatPayments {
-		if i < 0 || i >= n {
-			return nil, fmt.Errorf("distmech: cheater index %d out of range", i)
-		}
-		cheat[i] = true
-	}
-	crashed := map[int]bool{}
-	for _, i := range cfg.Crashed {
-		if i <= 0 || i >= n {
-			return nil, fmt.Errorf("distmech: invalid crashed node %d (root cannot crash)", i)
-		}
-		crashed[i] = true
 	}
 	// A parent must wait long enough for a request to reach its
 	// deepest descendant and the aggregate to travel back — and, under
@@ -139,6 +136,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.New()
+	tr := &faults.Transport{Eng: eng, Inj: inj, Hop: hop}
 	children := cfg.Tree.Children()
 	// timeoutBudget[i] = 4 hops (request + reply round trip with
 	// slack) beyond the largest child budget.
@@ -166,19 +164,25 @@ func Run(cfg Config) (*Result, error) {
 	// Per-node aggregation state for the convergecast.
 	partial := make([]float64, n)  // accumulated sum of 1/b over own subtree
 	awaiting := make([]int, n)     // children not yet reported
+	requested := make([]bool, n)   // node already processed the request
 	reportedUp := make([]bool, n)  // node already sent its aggregate
 	claimsLeft := make([]int, n)   // children whose payment claim is pending
 	claimed := make([]float64, n)  // payment each node claims for itself
 	ready := make([]bool, n)       // node has computed its own claim
 	childDone := make([][]bool, n) // which children reported, by child position
-	missing := make([]bool, n)     // cut off by a crash
+	claimDone := make([][]bool, n) // which children's claims were audited
+	missing := make([]bool, n)     // cut off during aggregation
 	timeouts := make([]*sim.Event, n)
 	flagged := make([]bool, n)
 	var S float64
 
-	send := func(delay float64, _ msgKind, action func()) {
-		res.Messages++
-		eng.Schedule(delay+hop, func() { action() })
+	childPos := func(p, c int) int {
+		for k, cc := range children[p] {
+			if cc == c {
+				return k
+			}
+		}
+		return -1
 	}
 
 	// selfPayment computes node i's payment from purely local data
@@ -198,14 +202,21 @@ func Run(cfg Config) (*Result, error) {
 	var disseminate func(i int, s float64)
 	var sendClaim func(i int)
 
-	// Phase 5: claims travel upward; parents audit.
+	// Phase 5: claims travel upward; parents audit. Duplicate claims
+	// and claims arriving after the parent closed its audit are
+	// ignored.
 	sendClaim = func(i int) {
 		claim := claimed[i]
 		p := cfg.Tree.Parent[i]
 		if p == -1 {
 			return // the root's own claim is audited by convention (publicly recomputable)
 		}
-		send(0, msgClaim, func() {
+		pos := childPos(p, i)
+		tr.Send(i, p, "claim", func() {
+			if claimDone[p] == nil || claimDone[p][pos] {
+				return // duplicate or parent never initialized
+			}
+			claimDone[p][pos] = true
 			// Parent p recomputes i's payment from i's disclosed
 			// (bid, exec) and the public S.
 			want, _ := selfPayment(i, S)
@@ -220,7 +231,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// markMissing cuts off a whole subtree (rooted at a child that
-	// never reported — crashed itself or behind a crash).
+	// never reported — crashed itself or behind a crash or a lost
+	// message).
 	var markMissing func(i int)
 	markMissing = func(i int) {
 		missing[i] = true
@@ -231,15 +243,19 @@ func Run(cfg Config) (*Result, error) {
 
 	// Phase 3/4: S travels downward over the reachable tree; nodes
 	// compute allocations and payments, then leaves of the reachable
-	// tree start the claim convergecast.
+	// tree start the claim convergecast. Duplicate deliveries of the
+	// aggregate are ignored.
 	disseminate = func(i int, s float64) {
+		if ready[i] {
+			return
+		}
 		res.Alloc[i] = cfg.Rate / (cfg.Agents[i].Bid * s)
 		pay, util := selfPayment(i, s)
 		res.Payments[i] = pay
 		res.Utilities[i] = util
 		claimed[i] = pay
-		if cheat[i] {
-			claimed[i] = pay*1.1 + 0.01
+		if f := inj.ClaimFactor(i); f != 1 {
+			claimed[i] = pay*f + 0.01
 		}
 		ready[i] = true
 		reachable := 0
@@ -249,7 +265,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			reachable++
 			c := c
-			send(0, msgDisseminate, func() { disseminate(c, s) })
+			tr.Send(i, c, "disseminate", func() { disseminate(c, s) })
 		}
 		claimsLeft[i] = reachable
 		if reachable == 0 {
@@ -258,7 +274,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Phase 2: convergecast of partial sums, with parent timeouts for
-	// children that never report.
+	// children that never report. Duplicate aggregates and aggregates
+	// arriving after the parent already reported up are ignored.
 	var reportUp func(i int)
 	reportUp = func(i int) {
 		if reportedUp[i] {
@@ -272,13 +289,11 @@ func Run(cfg Config) (*Result, error) {
 			disseminate(0, S)
 			return
 		}
-		pos := -1
-		for k, c := range children[p] {
-			if c == i {
-				pos = k
+		pos := childPos(p, i)
+		tr.Send(i, p, "aggregate", func() {
+			if reportedUp[p] || childDone[p][pos] {
+				return // late (parent moved on) or duplicate
 			}
-		}
-		send(0, msgAggregate, func() {
 			partial[p] += value
 			childDone[p][pos] = true
 			awaiting[p]--
@@ -292,20 +307,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Phase 1: request broadcast; initializes per-node state. Crashed
-	// nodes swallow the request (the message is still sent and
-	// counted) and their parent's timeout eventually cuts the subtree.
+	// and silent nodes swallow the request (the message is still sent
+	// and counted) and their parent's timeout eventually cuts the
+	// subtree.
 	var request func(i int)
 	request = func(i int) {
+		if requested[i] || dead(i) {
+			return
+		}
+		requested[i] = true
 		partial[i] = 1 / cfg.Agents[i].Bid
 		awaiting[i] = len(children[i])
 		childDone[i] = make([]bool, len(children[i]))
+		claimDone[i] = make([]bool, len(children[i]))
 		for _, c := range children[i] {
 			c := c
-			if crashed[c] {
-				send(0, msgRequest, func() {}) // dropped on the floor
-				continue
-			}
-			send(0, msgRequest, func() { request(c) })
+			tr.Send(i, c, "request", func() { request(c) })
 		}
 		if len(children[i]) == 0 {
 			reportUp(i)
@@ -326,7 +343,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	computeBudget(0)
 	request(0)
-	eng.Run()
+	if cfg.Deadline > 0 {
+		eng.RunUntil(cfg.Deadline)
+	} else {
+		eng.Run()
+	}
+
+	res.Messages = tr.Sent
+	res.Lost = tr.Lost
+	res.Duplicated = tr.Duplicated
+	res.CompletionTime = eng.Now()
 
 	for i := range missing {
 		if missing[i] {
@@ -334,11 +360,37 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if n-len(res.Missing) < 2 {
-		return nil, errors.New("distmech: fewer than two reachable nodes")
+		return nil, fmt.Errorf("%w (%d of %d)", ErrQuorumLost, n-len(res.Missing), n)
 	}
 
 	if S == 0 {
-		return nil, errors.New("distmech: aggregation did not complete")
+		if cfg.Deadline > 0 && eng.Pending() > 0 {
+			return nil, fmt.Errorf("%w: aggregation still pending at t=%g",
+				ErrDeadlineExceeded, cfg.Deadline)
+		}
+		return nil, ErrAggregationIncomplete
+	}
+	// Nodes that contributed to S but never received it back have no
+	// allocation; the round under-serves the rate and must be redone.
+	unserved := 0
+	for i := 0; i < n; i++ {
+		if !missing[i] && !ready[i] {
+			unserved++
+		}
+	}
+	if unserved > 0 {
+		if cfg.Deadline > 0 && eng.Pending() > 0 {
+			return nil, fmt.Errorf("%w: dissemination still pending at t=%g",
+				ErrDeadlineExceeded, cfg.Deadline)
+		}
+		return nil, fmt.Errorf("%w (%d nodes)", ErrDisseminationIncomplete, unserved)
+	}
+	// Audit coverage: claims that never arrived (lost or still in
+	// flight at the deadline) leave their subtree unaudited.
+	for i := 0; i < n; i++ {
+		if !missing[i] && ready[i] {
+			res.ClaimsOutstanding += claimsLeft[i]
+		}
 	}
 	// Root claims are checked directly here (the root's payment is
 	// recomputable by everyone from S).
@@ -347,14 +399,13 @@ func Run(cfg Config) (*Result, error) {
 			res.Flagged = append(res.Flagged, i)
 		}
 	}
-	if cheat[0] {
+	if inj.ClaimFactor(0) != 1 {
 		res.Flagged = append([]int{0}, res.Flagged...)
 	}
 	res.S = S
-	res.CompletionTime = eng.Now()
 	// Safety: allocation conserves the rate.
 	if !feasible(res.Alloc, cfg.Rate) {
-		return nil, errors.New("distmech: allocation failed conservation")
+		return nil, ErrConservation
 	}
 	return res, nil
 }

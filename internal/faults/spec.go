@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a Plan from a compact CLI spec: comma-separated
+// key=value tokens. Supported keys:
+//
+//	seed=N              decision seed (default 1)
+//	drop=P              drop each message with probability P
+//	dup=P               duplicate each message with probability P
+//	jitter=D            uniform extra delay in [0, D) seconds
+//	reorder=P[@LAG]     delay-past-later-traffic with probability P
+//	crash=I+J+...       fail-stop nodes
+//	silent=I+J+...      nodes that never respond (strategic)
+//	stall=I+J[@D[:K]]   stalled nodes: +D seconds every K-th send
+//	byz=I+J[@F]         nodes over-claiming payments by factor F
+//
+// Example: "seed=42,drop=0.05,crash=3+7,byz=5@1.2". The empty string
+// and "none" parse to a plan that injects nothing.
+func ParseSpec(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return New(1), nil
+	}
+	var opts []Option
+	seed := uint64(1)
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: token %q is not key=value", tok)
+		}
+		switch key {
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", val, err)
+			}
+			seed = s
+		case "drop", "dup":
+			p, err := parseProb(key, val)
+			if err != nil {
+				return nil, err
+			}
+			if key == "drop" {
+				opts = append(opts, Drop(p))
+			} else {
+				opts = append(opts, Duplicate(p))
+			}
+		case "jitter":
+			d, err := strconv.ParseFloat(val, 64)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: bad jitter value %q", val)
+			}
+			opts = append(opts, Jitter(d))
+		case "reorder":
+			probStr, lagStr, hasLag := strings.Cut(val, "@")
+			p, err := parseProb(key, probStr)
+			if err != nil {
+				return nil, err
+			}
+			lag := 0.0
+			if hasLag {
+				lag, err = strconv.ParseFloat(lagStr, 64)
+				if err != nil || lag <= 0 {
+					return nil, fmt.Errorf("faults: bad reorder lag %q", lagStr)
+				}
+			}
+			opts = append(opts, Reorder(p, lag))
+		case "crash", "silent":
+			nodes, err := parseNodes(key, val)
+			if err != nil {
+				return nil, err
+			}
+			if key == "crash" {
+				opts = append(opts, Crash(nodes...))
+			} else {
+				opts = append(opts, Silent(nodes...))
+			}
+		case "stall":
+			nodesStr, rest, hasRest := strings.Cut(val, "@")
+			nodes, err := parseNodes(key, nodesStr)
+			if err != nil {
+				return nil, err
+			}
+			delay, every := 0.0, 0
+			if hasRest {
+				delayStr, everyStr, hasEvery := strings.Cut(rest, ":")
+				delay, err = strconv.ParseFloat(delayStr, 64)
+				if err != nil || delay <= 0 {
+					return nil, fmt.Errorf("faults: bad stall delay %q", delayStr)
+				}
+				if hasEvery {
+					every, err = strconv.Atoi(everyStr)
+					if err != nil || every <= 0 {
+						return nil, fmt.Errorf("faults: bad stall period %q", everyStr)
+					}
+				}
+			}
+			opts = append(opts, Stall(delay, every, nodes...))
+		case "byz":
+			nodesStr, factorStr, hasFactor := strings.Cut(val, "@")
+			nodes, err := parseNodes(key, nodesStr)
+			if err != nil {
+				return nil, err
+			}
+			factor := 0.0
+			if hasFactor {
+				factor, err = strconv.ParseFloat(factorStr, 64)
+				if err != nil || factor <= 0 {
+					return nil, fmt.Errorf("faults: bad byzantine factor %q", factorStr)
+				}
+			}
+			opts = append(opts, Byzantine(factor, nodes...))
+		default:
+			return nil, fmt.Errorf("faults: unknown spec key %q", key)
+		}
+	}
+	return New(seed, opts...), nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("faults: bad %s probability %q (want 0..1)", key, val)
+	}
+	return p, nil
+}
+
+func parseNodes(key, val string) ([]int, error) {
+	var nodes []int
+	for _, part := range strings.Split(val, "+") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("faults: bad %s node %q", key, part)
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("faults: %s needs at least one node", key)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,74 @@
+package faults
+
+import "repro/internal/sim"
+
+// Transport delivers messages over a discrete-event engine while
+// consulting an Injector about each message's fate. It is the
+// integration point between the fault layer and the simulation
+// engine: callers express "send this, then run that on receipt" and
+// the transport applies hop latency, drops, duplicates, jitter and
+// sender stalls.
+//
+// Counters distinguish logical sends (Sent — what a protocol's
+// message-complexity bound counts) from physical deliveries.
+type Transport struct {
+	// Eng is the discrete-event engine driving the simulation.
+	Eng *sim.Engine
+	// Inj decides message fates; nil injects nothing.
+	Inj Injector
+	// Hop is the base per-message latency in simulated seconds.
+	Hop float64
+	// DupLag is the extra delay of a duplicate copy beyond the first
+	// delivery (default Hop/2).
+	DupLag float64
+
+	// Sent counts logical sends (one per Send call).
+	Sent int
+	// Delivered counts physical deliveries (duplicates included).
+	Delivered int
+	// Lost counts dropped messages.
+	Lost int
+	// Duplicated counts messages delivered twice.
+	Duplicated int
+
+	sendsBy map[int]int // per-sender send count, for stall schedules
+}
+
+// Send performs one logical send from node `from` to node `to` and
+// schedules deliver() at the fault-adjusted latency. A dropped
+// message is counted as sent but deliver never runs.
+func (t *Transport) Send(from, to int, kind string, deliver func()) {
+	inj := t.Inj
+	if inj == nil {
+		inj = None
+	}
+	m := Message{Seq: t.Sent, From: from, To: to, Kind: kind}
+	t.Sent++
+	d := inj.Deliver(m)
+	delay := t.Hop + d.ExtraDelay
+	if inj.Class(from) == NodeStalled {
+		if t.sendsBy == nil {
+			t.sendsBy = map[int]int{}
+		}
+		cnt := t.sendsBy[from]
+		t.sendsBy[from]++
+		if stall, every := inj.Stall(from); every > 0 && cnt%every == 0 {
+			delay += stall
+		}
+	}
+	if d.Drop {
+		t.Lost++
+		return
+	}
+	t.Eng.Schedule(delay, deliver)
+	t.Delivered++
+	if d.Duplicate {
+		lag := t.DupLag
+		if lag <= 0 {
+			lag = t.Hop / 2
+		}
+		t.Eng.Schedule(delay+lag, deliver)
+		t.Delivered++
+		t.Duplicated++
+	}
+}

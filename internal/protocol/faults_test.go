@@ -1,0 +1,173 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestSilentPlanMatchesSilentStrategy pins the satellite requirement
+// that the legacy SilentStrategy knob and a faults.Silent plan are
+// the same fault: both must produce identical rounds.
+func TestSilentPlanMatchesSilentStrategy(t *testing.T) {
+	trues := []float64{1, 2, 3, 4}
+	legacy := Config{
+		Trues:         trues,
+		Strategies:    []Strategy{nil, nil, SilentStrategy{}, nil},
+		Rate:          8,
+		Jobs:          2000,
+		Seed:          11,
+		AllowDropouts: true,
+	}
+	plan := legacy
+	plan.Strategies = nil
+	plan.Faults = faults.New(1, faults.Silent(2))
+
+	a, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Dropped) != fmt.Sprint(b.Dropped) {
+		t.Fatalf("dropped: legacy %v vs plan %v", a.Dropped, b.Dropped)
+	}
+	if fmt.Sprint(a.Active) != fmt.Sprint(b.Active) {
+		t.Fatalf("active: legacy %v vs plan %v", a.Active, b.Active)
+	}
+	if a.Messages != b.Messages {
+		t.Fatalf("messages: legacy %d vs plan %d", a.Messages, b.Messages)
+	}
+	for i := range a.Outcome.Payment {
+		if a.Outcome.Payment[i] != b.Outcome.Payment[i] {
+			t.Fatalf("payment %d: legacy %v vs plan %v", i, a.Outcome.Payment[i], b.Outcome.Payment[i])
+		}
+	}
+}
+
+// TestStallPlanMatchesStallEvery pins the same for the StallEvery
+// measurement-fault knob.
+func TestStallPlanMatchesStallEvery(t *testing.T) {
+	trues := []float64{1, 1.5, 2}
+	legacy := Config{
+		Trues:           trues,
+		Rate:            6,
+		Jobs:            4000,
+		Seed:            7,
+		RobustEstimator: true,
+		StallEvery:      map[int]int{0: 50},
+	}
+	plan := legacy
+	plan.StallEvery = nil
+	plan.Faults = faults.New(1, faults.Stall(0, 50, 0))
+
+	a, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			t.Fatalf("estimate %d: legacy %+v vs plan %+v", i, a.Estimates[i], b.Estimates[i])
+		}
+		if a.Verdicts[i].Deviating != b.Verdicts[i].Deviating {
+			t.Fatalf("verdict %d differs", i)
+		}
+	}
+}
+
+func TestLostBidsBecomeDropouts(t *testing.T) {
+	cfg := Config{
+		Trues:         []float64{1, 2, 3, 4, 5, 6},
+		Rate:          10,
+		Jobs:          1000,
+		Seed:          3,
+		AllowDropouts: true,
+		Faults:        faults.New(5, faults.Drop(0.15)),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost == 0 {
+		t.Fatal("drop plan lost nothing")
+	}
+	if len(res.Dropped)+len(res.Active) != 6 {
+		t.Fatalf("dropped %v + active %v != 6", res.Dropped, res.Active)
+	}
+	if len(res.Dropped) == 0 {
+		t.Skip("seed lost no bid-phase messages; nothing to assert")
+	}
+	// A second run is byte-identical: the fault schedule is a pure
+	// function of (seed, seq).
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Dropped) != fmt.Sprint(res2.Dropped) || res.Lost != res2.Lost {
+		t.Fatalf("non-deterministic faults: %v/%d vs %v/%d",
+			res.Dropped, res.Lost, res2.Dropped, res2.Lost)
+	}
+}
+
+func TestLostBidWithoutDropoutsAborts(t *testing.T) {
+	cfg := Config{
+		Trues:  []float64{1, 2, 3},
+		Rate:   6,
+		Jobs:   500,
+		Seed:   3,
+		Faults: faults.New(1, faults.Drop(1)),
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("total message loss should abort the round")
+	}
+}
+
+// TestLostCompletionReportTrustsBid: when an agent's completion
+// report is lost the coordinator cannot audit it and falls back to
+// the bid (estimate with zero samples).
+func TestLostCompletionReportTrustsBid(t *testing.T) {
+	cfg := Config{
+		Trues:  []float64{1, 2, 3},
+		Rate:   6,
+		Jobs:   1000,
+		Seed:   9,
+		Faults: faults.New(2, faults.Drop(0)), // base plan; drops come from the wrapper below
+	}
+	// Drop exactly the completed messages via a targeted injector.
+	cfg.Faults = completedDropper{faults.None}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 3 {
+		t.Fatalf("lost = %d, want 3 completion reports", res.Lost)
+	}
+	for i, est := range res.Estimates {
+		if est.N != 0 {
+			t.Fatalf("agent %d estimate has %d samples despite lost report", i, est.N)
+		}
+		if est.Value != cfg.Trues[i] { // truthful round: bid == true value
+			t.Fatalf("agent %d estimate %v != bid %v", i, est.Value, cfg.Trues[i])
+		}
+		if res.Verdicts[i].Deviating {
+			t.Fatalf("agent %d flagged with no evidence", i)
+		}
+	}
+}
+
+// completedDropper drops every completion report and nothing else.
+type completedDropper struct{ faults.Injector }
+
+func (d completedDropper) Deliver(m faults.Message) faults.Decision {
+	if m.Kind == MsgCompleted.String() {
+		return faults.Decision{Drop: true}
+	}
+	return d.Injector.Deliver(m)
+}

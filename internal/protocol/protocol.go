@@ -20,9 +20,12 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/estimate"
+	"repro/internal/faults"
 	"repro/internal/mech"
 	"repro/internal/numeric"
 	"repro/internal/workload"
@@ -71,22 +74,67 @@ type Message struct {
 }
 
 // Network is the in-memory transport. It counts every message and can
-// keep a full log.
+// keep a full log. When Faults is set, the unreliable protocol phases
+// (bid request, bid, completion report) pass through the fault layer
+// and may be lost; allocation and payment messages are modeled as
+// riding a reliable (acknowledged, retransmitting) channel, so faults
+// never silently corrupt an allocation an agent acts on.
 type Network struct {
-	// Count is the number of messages sent.
+	// Count is the number of messages sent (lost ones included: they
+	// crossed the wire and cost bandwidth, they just never arrived).
 	Count int
+	// Lost counts messages the fault layer dropped.
+	Lost int
 	// Log holds every message when Record is true.
 	Log []Message
 	// Record enables message logging.
 	Record bool
+	// Faults filters deliveries (nil = reliable network).
+	Faults faults.Injector
+
+	seq int
 }
 
-// Send delivers (counts, optionally logs) a message.
-func (n *Network) Send(m Message) {
+// unreliableKinds are the message kinds subject to fault injection.
+func unreliable(k MessageKind) bool {
+	return k == MsgRequestBid || k == MsgBid || k == MsgCompleted
+}
+
+// endpointIndex maps a protocol endpoint name to a fault-layer node
+// index: the coordinator is -1, agent "Ck" is k-1.
+func endpointIndex(name string) int {
+	if i, err := strconv.Atoi(strings.TrimPrefix(name, "C")); err == nil {
+		return i - 1
+	}
+	return -1
+}
+
+// Send delivers (counts, optionally logs) a message and reports
+// whether it arrived.
+func (n *Network) Send(m Message) bool {
+	seq := n.seq
+	n.seq++
 	n.Count++
 	if n.Record {
 		n.Log = append(n.Log, m)
 	}
+	if n.Faults == nil || !unreliable(m.Kind) {
+		return true
+	}
+	d := n.Faults.Deliver(faults.Message{
+		Seq:  seq,
+		From: endpointIndex(m.From),
+		To:   endpointIndex(m.To),
+		Kind: m.Kind.String(),
+	})
+	if d.Drop {
+		n.Lost++
+		return false
+	}
+	if d.Duplicate {
+		n.Count++ // the duplicate copy also crosses the wire
+	}
+	return true
 }
 
 // Strategy decides how an agent plays given its private true value.
@@ -172,9 +220,24 @@ type Config struct {
 	// the map: every k-th observed delay is replaced by a stall of
 	// StallDelay seconds before the coordinator sees it. It models
 	// monitoring glitches rather than agent behaviour.
+	//
+	// Deprecated: a thin adapter over faults.Stall; prefer composing a
+	// fault plan in Faults.
 	StallEvery map[int]int
 	// StallDelay is the injected stall duration (default 1000s).
+	//
+	// Deprecated: rides along with StallEvery; prefer faults.Stall.
 	StallDelay float64
+	// Faults injects faults into the round (see package faults): nodes
+	// marked crashed or silent never bid, stalled nodes corrupt the
+	// coordinator's latency observations, and the unreliable message
+	// phases (bid request, bid, completion report) may lose messages —
+	// a lost bid looks exactly like a silent agent, a lost completion
+	// report forces the coordinator to trust that agent's bid
+	// unaudited. Nil injects nothing. The deprecated SilentStrategy and
+	// StallEvery knobs are folded into this injector, which is the one
+	// source of truth during the round.
+	Faults faults.Injector
 }
 
 // Result is the outcome of a protocol round.
@@ -194,6 +257,8 @@ type Result struct {
 	// Messages is the number of protocol messages exchanged (5n for a
 	// fully responsive round).
 	Messages int
+	// Lost counts messages the fault layer dropped.
+	Lost int
 	// Active maps the round's agent positions back to indices in
 	// Config.Trues (identical when nobody dropped out).
 	Active []int
@@ -236,22 +301,43 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("protocol: %d strategies for %d agents", len(strategies), n)
 	}
 
-	net := &Network{Record: cfg.RecordMessages}
+	// Fold the deprecated fault knobs (SilentStrategy, StallEvery)
+	// into the unified injector: the round consults only inj.
+	var legacy []faults.Option
+	for i, s := range strategies {
+		if _, ok := s.(SilentStrategy); ok {
+			legacy = append(legacy, faults.Silent(i))
+		}
+	}
+	for i, k := range cfg.StallEvery {
+		legacy = append(legacy, faults.Stall(cfg.StallDelay, k, i))
+	}
+	inj := faults.Merge(cfg.Faults)
+	if len(legacy) > 0 {
+		inj = faults.Merge(cfg.Faults, faults.New(0, legacy...))
+	}
+
+	net := &Network{Record: cfg.RecordMessages, Faults: inj}
 	rng := numeric.NewRand(cfg.Seed)
 	var names []string
 	var agents []mech.Agent
 	var active []int
 	var dropped []string
 
-	// Phases 1-2: bid collection.
+	// Phases 1-2: bid collection. A crashed or silent node, a lost bid
+	// request and a lost bid all look the same to the coordinator: no
+	// bid arrives.
 	for i, tv := range cfg.Trues {
 		name := fmt.Sprintf("C%d", i+1)
-		net.Send(Message{From: coordinator, To: name, Kind: MsgRequestBid})
+		reqArrived := net.Send(Message{From: coordinator, To: name, Kind: MsgRequestBid})
 		s := strategies[i]
 		if s == nil {
 			s = TruthfulStrategy{}
 		}
-		bid := s.Bid(tv)
+		bid := 0.0
+		if cls := inj.Class(i); reqArrived && cls != faults.NodeCrashed && cls != faults.NodeSilent {
+			bid = s.Bid(tv)
+		}
 		if bid <= 0 {
 			if cfg.AllowDropouts {
 				dropped = append(dropped, name)
@@ -259,7 +345,13 @@ func Run(cfg Config) (*Result, error) {
 			}
 			return nil, fmt.Errorf("protocol: agent %s failed to bid", name)
 		}
-		net.Send(Message{From: name, To: coordinator, Kind: MsgBid, Value: bid})
+		if !net.Send(Message{From: name, To: coordinator, Kind: MsgBid, Value: bid}) {
+			if cfg.AllowDropouts {
+				dropped = append(dropped, name)
+				continue
+			}
+			return nil, fmt.Errorf("protocol: agent %s failed to bid", name)
+		}
 		names = append(names, name)
 		active = append(active, i)
 		agents = append(agents, mech.Agent{
@@ -304,7 +396,7 @@ func Run(cfg Config) (*Result, error) {
 	verdicts := make([]estimate.Verdict, n)
 	estimated := append([]mech.Agent(nil), agents...)
 	for i := range agents {
-		net.Send(Message{
+		reported := net.Send(Message{
 			From: names[i], To: coordinator, Kind: MsgCompleted,
 			Value: float64(simRes.PerNode[i].Jobs),
 		})
@@ -313,11 +405,13 @@ func Run(cfg Config) (*Result, error) {
 		// exactly, and using the (noisy) observed arrival rate would
 		// understate the estimator's uncertainty.
 		obs := simRes.PerNode[i].Latencies
-		if k, ok := cfg.StallEvery[active[i]]; ok && k > 0 {
-			stall := cfg.StallDelay
-			if stall <= 0 {
-				stall = 1000
-			}
+		if !reported {
+			// The completion report was lost: the coordinator cannot
+			// match its observations to the agent's accounting, so it
+			// falls back to trusting the bid, unaudited.
+			obs = nil
+		}
+		if stall, k := inj.Stall(active[i]); k > 0 {
 			obs = append([]float64(nil), obs...)
 			for j := 0; j < len(obs); j += k {
 				obs[j] = stall
@@ -363,6 +457,7 @@ func Run(cfg Config) (*Result, error) {
 		Estimates: estimates,
 		Verdicts:  verdicts,
 		Messages:  net.Count,
+		Lost:      net.Lost,
 		Active:    active,
 		Dropped:   dropped,
 		Net:       net,

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/mech"
 	"repro/internal/protocol"
 )
@@ -76,6 +77,18 @@ type Config struct {
 	Seed uint64
 	// Policy is the reputation policy.
 	Policy Policy
+	// Faults injects faults into every round's protocol execution (see
+	// package faults). Node indices refer to Computers; the injector is
+	// remapped onto each round's active set and re-keyed per round and
+	// per retry, so the fault schedule is deterministic but never
+	// repeats between attempts. Nil injects nothing.
+	Faults faults.Injector
+	// MaxRetries is how many times a failed round is retried with a
+	// re-keyed fault schedule before the simulation gives up; the
+	// final attempt tolerates dropouts, degrading the round to the
+	// responsive agents instead of failing it. 0 means fail fast
+	// (legacy behaviour).
+	MaxRetries int
 }
 
 // Record summarizes one round.
@@ -94,6 +107,15 @@ type Record struct {
 	Flagged []int
 	// TotalPayment is the mechanism's outlay this round.
 	TotalPayment float64
+	// Attempts is how many protocol executions this round took
+	// (1 = no retries).
+	Attempts int
+	// Dropouts lists computers excluded from the round because their
+	// bids never reached the coordinator.
+	Dropouts []int
+	// LostMessages counts protocol messages dropped in the accepted
+	// attempt.
+	LostMessages int
 }
 
 // Result is the outcome of a full simulation.
@@ -169,21 +191,63 @@ func Run(cfg Config) (*Result, error) {
 		if len(rec.Active) < 2 {
 			return nil, fmt.Errorf("rounds: round %d has only %d active computers", round, len(rec.Active))
 		}
-		pres, err := protocol.Run(protocol.Config{
+		base := protocol.Config{
 			Trues:      trues,
 			Strategies: strategies,
 			Rate:       rate,
 			Jobs:       jobs,
 			Seed:       cfg.Seed + uint64(round)*0x9e3779b9,
 			ZThreshold: pol.ZThreshold,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("rounds: round %d: %w", round, err)
+		}
+		var pres *protocol.Result
+		var err error
+		for attempt := 0; ; attempt++ {
+			pcfg := base
+			if attempt > 0 {
+				pcfg.Seed = base.Seed + uint64(attempt)*0x85ebca6b
+			}
+			if cfg.Faults != nil {
+				// Re-key the schedule per (round, attempt) — attempt 0
+				// of round 0 keeps the plan's own seed — and remap the
+				// population-level node ids onto this round's active
+				// set.
+				salt := uint64(round)<<8 | uint64(attempt&0xff)
+				pcfg.Faults = faults.Remap(faults.Reseed(cfg.Faults, salt), rec.Active)
+			}
+			// Retries chase a fully responsive round; the final
+			// attempt degrades to whoever answers.
+			pcfg.AllowDropouts = cfg.MaxRetries > 0 && attempt == cfg.MaxRetries
+			pres, err = protocol.Run(pcfg)
+			rec.Attempts = attempt + 1
+			if err == nil {
+				break
+			}
+			if attempt >= cfg.MaxRetries {
+				return nil, fmt.Errorf("rounds: round %d: %w", round, err)
+			}
+		}
+		rec.LostMessages = pres.Lost
+		activeTrues := trues
+		if len(pres.Active) != len(rec.Active) {
+			// Some computers dropped out: record them and compare the
+			// realized latency against the optimum for the agents that
+			// actually served.
+			responsive := make(map[int]bool, len(pres.Active))
+			activeTrues = nil
+			for _, j := range pres.Active {
+				responsive[j] = true
+				activeTrues = append(activeTrues, trues[j])
+			}
+			for j := range rec.Active {
+				if !responsive[j] {
+					rec.Dropouts = append(rec.Dropouts, rec.Active[j])
+				}
+			}
 		}
 		rec.Latency = pres.Oracle.RealLatency
 		rec.TotalPayment = pres.Outcome.TotalPayment()
 		model := mech.LinearModel{}
-		opt, err := model.OptimalTotal(trues, rate)
+		opt, err := model.OptimalTotal(activeTrues, rate)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +256,10 @@ func Run(cfg Config) (*Result, error) {
 			if !v.Deviating {
 				continue
 			}
-			idx := rec.Active[pos]
+			// pres positions index the responsive subset; pres.Active
+			// maps them to this round's roster, rec.Active to the
+			// population.
+			idx := rec.Active[pres.Active[pos]]
 			rec.Flagged = append(rec.Flagged, idx)
 			if pol.ForgiveAfter > 0 && lastFlag[idx] >= 0 &&
 				round-lastFlag[idx] > pol.ForgiveAfter {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/faults"
 	"repro/internal/protocol"
 )
 
@@ -40,6 +41,15 @@ type Scenario struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Computers are the machines.
 	Computers []Computer `json:"computers"`
+	// FaultSpec composes a fault plan for the round in the package
+	// faults spec syntax, e.g. "drop=0.05,silent=2".
+	FaultSpec string `json:"faults,omitempty"`
+	// AllowDropouts tolerates agents whose bids never arrive.
+	AllowDropouts bool `json:"allow_dropouts,omitempty"`
+
+	// Faults overrides FaultSpec with an already-composed injector
+	// (set programmatically, e.g. by the -faults CLI flag).
+	Faults faults.Injector `json:"-"`
 }
 
 // Load parses and validates a scenario from JSON.
@@ -87,6 +97,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: computer %d has negative factors", i)
 		}
 	}
+	if s.FaultSpec != "" {
+		if _, err := faults.ParseSpec(s.FaultSpec); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -110,12 +125,22 @@ func (s *Scenario) Strategies() []protocol.Strategy {
 
 // Run executes the scenario as a full protocol round under its model.
 func (s *Scenario) Run() (*protocol.Result, error) {
+	inj := s.Faults
+	if inj == nil && s.FaultSpec != "" {
+		plan, err := faults.ParseSpec(s.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		inj = plan
+	}
 	cfg := protocol.Config{
-		Trues:      s.Trues(),
-		Strategies: s.Strategies(),
-		Rate:       s.Rate,
-		Jobs:       s.Jobs,
-		Seed:       s.Seed,
+		Trues:         s.Trues(),
+		Strategies:    s.Strategies(),
+		Rate:          s.Rate,
+		Jobs:          s.Jobs,
+		Seed:          s.Seed,
+		Faults:        inj,
+		AllowDropouts: s.AllowDropouts,
 	}
 	if s.Model == "mm1" {
 		return protocol.RunMM1(cfg)

@@ -37,9 +37,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/distmech"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/game"
 	"repro/internal/mech"
 	"repro/internal/protocol"
+	"repro/internal/supervise"
 )
 
 // Agent is one self-interested computer: private true value, reported
@@ -150,6 +152,37 @@ func BinaryTree(n int) Tree { return distmech.Binary(n) }
 // its tree parent. O(n) messages; linear model only.
 func RunDistributed(tree Tree, agents []Agent, rate float64) (*DistributedResult, error) {
 	return distmech.Run(distmech.Config{Tree: tree, Agents: agents, Rate: rate})
+}
+
+// FaultPlan is a deterministic, seedable fault-injection plan (see
+// package faults): message drops, duplication, delay jitter,
+// reordering, node crashes, silence, stalls and Byzantine payment
+// claims, all derived reproducibly from a seed.
+type FaultPlan = faults.Plan
+
+// ParseFaults composes a FaultPlan from a spec string such as
+// "seed=7,drop=0.05,crash=3+7,byz=5@1.2".
+func ParseFaults(spec string) (*FaultPlan, error) { return faults.ParseSpec(spec) }
+
+// RoundReport is the structured outcome of a supervised round: every
+// attempt, failure classification, exclusion, backoff and degradation
+// decision, plus the accepted allocation indexed by original node id.
+type RoundReport = supervise.Report
+
+// RunSupervised executes the distributed round under supervision: a
+// failed attempt is classified (partial aggregate, conservation
+// violation, audit flags, unreachable nodes), misbehaving or
+// persistently unreachable nodes are excluded, and the round retries
+// with exponential backoff, degrading gracefully to any quorum of at
+// least two reachable computers. The returned report's Trace() is
+// byte-identical across runs for the same seed and plan.
+func RunSupervised(tree Tree, agents []Agent, rate float64, plan *FaultPlan) (*RoundReport, error) {
+	return supervise.Run(distmech.Config{
+		Tree:   tree,
+		Agents: agents,
+		Rate:   rate,
+		Faults: plan,
+	}, supervise.Options{})
 }
 
 // MechanismByName constructs a registered mechanism ("verification",
