@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz
+.PHONY: build test vet race check fuzz difftest bench
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,27 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The acceptance gate: static analysis plus the full suite (chaos
-# matrix included) under the race detector.
-check: vet race
+# Differential payment tests (fast O(n) engine vs the O(n^2) naive
+# reference) under the race detector, plus the allocation guards, which
+# need a non-race run because AllocsPerRun counts differ under the
+# instrumented allocator.
+difftest:
+	$(GO) test -race -run 'TestFast|TestFallback|TestEngine' -count=1 ./internal/mech
+	$(GO) test -run 'TestCompensationBonusAllocsO1|TestEngineSteadyStateZeroAllocs' -count=1 ./internal/mech
+
+# The acceptance gate: static analysis, the differential payment tests
+# under -race, then the full suite (chaos matrix included) under the
+# race detector.
+check: vet difftest race
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/supervise
+
+# Record the payment-engine and parallel-distribution baselines as
+# stable JSON (commit BENCH_mech.json to track regressions).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMechPayments' -benchmem ./internal/mech > .bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkForEach' -benchmem ./internal/parallel >> .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_mech.json
+	@rm -f .bench_raw.txt
+	@cat BENCH_mech.json

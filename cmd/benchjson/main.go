@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a stable JSON document on stdout, so benchmark baselines can be
+// committed and diffed (make bench > BENCH_mech.json). The output is
+// deterministic for a given input: no timestamps, benchmarks in input
+// order.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the "Benchmark" prefix and the
+	// trailing "-<GOMAXPROCS>" suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when the benchmark ran
+	// with -benchmem (-1 when absent).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Document is the emitted JSON structure.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        []string `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkFoo-8  100  123 ns/op  45 B/op  6 allocs/op"
+// line; ok is false for non-benchmark lines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for k := 2; k+1 < len(fields); k += 2 {
+		val, unit := fields[k], fields[k+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = nil // ignore custom metrics
+		}
+		if err != nil {
+			return Result{}, false
+		}
+	}
+	return r, true
+}
+
+func run(in *bufio.Scanner, out *os.File) error {
+	var doc Document
+	for in.Scan() {
+		line := in.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = append(doc.Pkg, strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if r, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := in.Err(); err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if err := run(sc, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

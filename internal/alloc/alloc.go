@@ -17,6 +17,9 @@ import (
 // the aggregate capacity of the computers.
 var ErrInfeasible = errors.New("alloc: arrival rate exceeds total capacity")
 
+// errNoComputers is returned by allocators given an empty system.
+var errNoComputers = errors.New("alloc: no computers")
+
 // Proportional implements the paper's PR algorithm (Theorem 2.1): for
 // linear latency functions l_i(x) = t_i*x, the total-latency-minimizing
 // allocation routes jobs in proportion to processing rates,
@@ -29,7 +32,7 @@ func Proportional(ts []float64, rate float64) ([]float64, error) {
 		return nil, fmt.Errorf("alloc: negative arrival rate %g", rate)
 	}
 	if len(ts) == 0 {
-		return nil, errors.New("alloc: no computers")
+		return nil, errNoComputers
 	}
 	var inv numeric.KahanSum
 	for i, t := range ts {
@@ -102,7 +105,7 @@ func Exclude(ts []float64, i int) []float64 {
 func Optimal(fns []latency.Function, rate float64) ([]float64, error) {
 	n := len(fns)
 	if n == 0 {
-		return nil, errors.New("alloc: no computers")
+		return nil, errNoComputers
 	}
 	if rate < 0 {
 		return nil, fmt.Errorf("alloc: negative arrival rate %g", rate)

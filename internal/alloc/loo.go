@@ -1,0 +1,167 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// This file holds the scratch-buffer and leave-one-out allocation
+// primitives behind the O(n) payment engine. The paper's mechanism
+// prices every agent against the optimal total latency of the system
+// without it; for the closed-form latency families those n exclusion
+// optima collapse to leave-one-out aggregates that one pass over the
+// inputs produces, replacing n independent O(n) solves.
+
+// ExcludeInto writes ts with index i removed into dst and returns the
+// filled prefix dst[:len(ts)-1]. It is the allocation-free counterpart
+// of Exclude for callers that process many exclusions against a reused
+// scratch buffer. dst must have capacity for len(ts)-1 elements and
+// must not alias ts.
+func ExcludeInto(dst, ts []float64, i int) []float64 {
+	dst = dst[:len(ts)-1]
+	copy(dst, ts[:i])
+	copy(dst[i:], ts[i+1:])
+	return dst
+}
+
+// ProportionalInto is Proportional writing the allocation into dst
+// (resized via numeric.Resize), so steady-state callers allocate
+// nothing. It returns the filled slice.
+func ProportionalInto(dst, ts []float64, rate float64) ([]float64, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("alloc: negative arrival rate %g", rate)
+	}
+	if len(ts) == 0 {
+		return nil, errNoComputers
+	}
+	var inv numeric.KahanSum
+	for i, t := range ts {
+		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("alloc: invalid latency parameter t[%d] = %g", i, t)
+		}
+		inv.Add(1 / t)
+	}
+	s := inv.Value()
+	x := numeric.Resize(dst, len(ts))
+	for i, t := range ts {
+		x[i] = rate / (t * s)
+	}
+	return x, nil
+}
+
+// LeaveOneOutOptimalLinear fills out[i] with the minimum total latency
+// of the linear system without computer i,
+//
+//	L*_{-i} = rate^2 / sum_{j != i} 1/t_j,
+//
+// for every i in one O(n) pass (Theorem 2.1 applied to each exclusion,
+// with the inverse-speed sums produced by compensated prefix/suffix
+// summation). It returns out, resized as needed. All t must be
+// positive; for a single computer the exclusion system is empty and
+// the entry is +Inf at positive rate (0 at rate 0), matching
+// OptimalTotal on an empty system.
+func LeaveOneOutOptimalLinear(ts []float64, rate float64, out []float64) []float64 {
+	n := len(ts)
+	out = numeric.Resize(out, n)
+	if rate == 0 {
+		clear(out)
+		return out
+	}
+	numeric.LeaveOneOutSumFunc(n, func(i int) float64 { return 1 / ts[i] }, out)
+	r2 := rate * rate
+	for i := range out {
+		out[i] = r2 / out[i]
+	}
+	return out
+}
+
+// LeaveOneOutTotalsMM1 fills out[i] with the minimum total latency of
+// the M/M/1 system with queue i removed, serving the given rate. mus
+// are the service rates (all positive).
+//
+// The KKT solution has closed form: queues enter the active set in
+// decreasing order of mu, and with the k fastest remaining queues
+// active the multiplier satisfies sqrt(1/alpha) = (M_k - rate)/Q_k for
+// M_k, Q_k the active sums of mu and sqrt(mu), giving optimal total
+// Q_k^2/(M_k - rate) - k. The candidate k is certified by the
+// water-filling conditions s^2 < mu_(k) (the slowest active queue
+// really is active) and s^2 >= mu_(k+1) (the fastest idle queue really
+// is idle). All n exclusions share one sorted order and its
+// compensated cumulative sums, so the usual case — every queue active —
+// costs O(1) per exclusion after the O(n log n) sort.
+//
+// Entries whose scan fails to certify any k (a floating-point
+// borderline between active sets) are set to NaN for the caller to
+// resolve with the generic solver. An exclusion whose remaining
+// capacity cannot carry the rate yields an error wrapping
+// ErrInfeasible, matching the per-exclusion solver.
+func LeaveOneOutTotalsMM1(mus []float64, rate float64, out []float64) ([]float64, error) {
+	n := len(mus)
+	out = numeric.Resize(out, n)
+	if rate < 0 {
+		return out, fmt.Errorf("alloc: negative arrival rate %g", rate)
+	}
+	if rate == 0 {
+		clear(out)
+		return out, nil
+	}
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return mus[ord[a]] > mus[ord[b]] })
+	// pm[k] and pq[k] are compensated cumulative sums of mu and
+	// sqrt(mu) over the k fastest queues.
+	pm := make([]float64, n+1)
+	pq := make([]float64, n+1)
+	var sm, sq numeric.KahanSum
+	for k, j := range ord {
+		sm.Add(mus[j])
+		pm[k+1] = sm.Value()
+		sq.Add(math.Sqrt(mus[j]))
+		pq[k+1] = sq.Value()
+	}
+	for p, i := range ord {
+		mu := mus[i]
+		sqrtMu := math.Sqrt(mu)
+		m := n - 1
+		if pm[n]-mu <= rate {
+			return out, fmt.Errorf("alloc: rate %g exceeds capacity %g without queue %d: %w",
+				rate, pm[n]-mu, i, ErrInfeasible)
+		}
+		// The k-th fastest remaining queue, skipping sorted position p.
+		muAt := func(k int) float64 {
+			if k <= p {
+				return mus[ord[k-1]]
+			}
+			return mus[ord[k]]
+		}
+		out[i] = math.NaN()
+		for k := m; k >= 1; k-- {
+			var M, Q float64
+			if k <= p {
+				M, Q = pm[k], pq[k]
+			} else {
+				M, Q = pm[k+1]-mu, pq[k+1]-sqrtMu
+			}
+			if M <= rate {
+				// Fewer queues have even less capacity.
+				break
+			}
+			s := (M - rate) / Q
+			s2 := s * s
+			if s2 >= muAt(k) {
+				continue
+			}
+			if k < m && s2 < muAt(k+1) {
+				continue
+			}
+			out[i] = Q*Q/(M-rate) - float64(k)
+			break
+		}
+	}
+	return out, nil
+}

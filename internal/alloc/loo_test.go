@@ -1,0 +1,168 @@
+package alloc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/latency"
+	"repro/internal/numeric"
+)
+
+func TestExcludeInto(t *testing.T) {
+	ts := []float64{1, 2, 3, 4}
+	dst := make([]float64, 3)
+	for i := range ts {
+		got := ExcludeInto(dst, ts, i)
+		want := Exclude(ts, i)
+		if len(got) != len(want) {
+			t.Fatalf("exclude %d: len %d want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("exclude %d: got %v want %v", i, got, want)
+			}
+		}
+	}
+	if got := ExcludeInto(make([]float64, 0), []float64{5}, 0); len(got) != 0 {
+		t.Errorf("singleton exclusion: %v", got)
+	}
+}
+
+func TestProportionalIntoMatchesProportional(t *testing.T) {
+	ts := []float64{1, 2, 5, 10}
+	want, err := Proportional(ts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 8)
+	got, err := ProportionalInto(buf, ts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Error("buffer not reused")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := ProportionalInto(nil, []float64{1, -1}, 5); err == nil {
+		t.Error("invalid parameter accepted")
+	}
+	if _, err := ProportionalInto(nil, nil, 5); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestLeaveOneOutOptimalLinearMatchesPerExclusion(t *testing.T) {
+	rng := numeric.NewRand(11)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + int(rng.Uint64()%30)
+		ts := make([]float64, n)
+		for i := range ts {
+			// Six orders of magnitude of speed spread.
+			ts[i] = math.Pow(10, 6*rng.Float64()-3)
+		}
+		if trial%5 == 0 {
+			ts[0] = 1e-6 // one dominant fast machine
+		}
+		rate := 1 + 10*rng.Float64()
+		got := LeaveOneOutOptimalLinear(ts, rate, nil)
+		for i := range ts {
+			want := OptimalLatencyLinear(Exclude(ts, i), rate)
+			if diff := math.Abs(got[i] - want); diff > 1e-10*(1+want) {
+				t.Fatalf("trial %d: loo[%d] = %v, want %v", trial, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestLeaveOneOutOptimalLinearEdges(t *testing.T) {
+	got := LeaveOneOutOptimalLinear([]float64{2}, 3, nil)
+	if !math.IsInf(got[0], 1) {
+		t.Errorf("empty exclusion at positive rate: %v, want +Inf", got[0])
+	}
+	got = LeaveOneOutOptimalLinear([]float64{2, 5}, 0, nil)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero rate: %v, want zeros", got)
+	}
+}
+
+// mm1Exclusion computes the reference exclusion optimum with the
+// generic KKT solver.
+func mm1Exclusion(mus []float64, i int, rate float64) (float64, error) {
+	rest := Exclude(mus, i)
+	fns := make([]latency.Function, len(rest))
+	for j, mu := range rest {
+		fns[j] = latency.MM1{Mu: mu}
+	}
+	x, err := Optimal(fns, rate)
+	if err != nil {
+		return 0, err
+	}
+	return TotalLatency(fns, x), nil
+}
+
+func TestLeaveOneOutTotalsMM1MatchesKKT(t *testing.T) {
+	rng := numeric.NewRand(23)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + int(rng.Uint64()%12)
+		mus := make([]float64, n)
+		total := 0.0
+		maxMu := 0.0
+		for i := range mus {
+			mus[i] = math.Pow(10, 3*rng.Float64()-1) // 0.1 .. 100
+			total += mus[i]
+			if mus[i] > maxMu {
+				maxMu = mus[i]
+			}
+		}
+		// Keep every exclusion feasible, sometimes lightly loaded so
+		// that slow queues idle and the active set is partial.
+		frac := 0.6
+		if trial%3 == 0 {
+			frac = 0.05
+		}
+		rate := frac * (total - maxMu)
+		if rate <= 0 {
+			continue
+		}
+		got, err := LeaveOneOutTotalsMM1(mus, rate, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range mus {
+			want, err := mm1Exclusion(mus, i, rate)
+			if err != nil {
+				t.Fatalf("trial %d: reference solver: %v", trial, err)
+			}
+			if math.IsNaN(got[i]) {
+				continue // uncertified borderline; callers fall back
+			}
+			if diff := math.Abs(got[i] - want); diff > 1e-6*(1+want) {
+				t.Fatalf("trial %d: exclusion %d = %v, want %v (mus %v rate %v)",
+					trial, i, got[i], want, mus, rate)
+			}
+		}
+	}
+}
+
+func TestLeaveOneOutTotalsMM1Infeasible(t *testing.T) {
+	// Without the mu=10 queue the remaining capacity 2 cannot carry 3.
+	_, err := LeaveOneOutTotalsMM1([]float64{10, 1, 1}, 3, nil)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestLeaveOneOutTotalsMM1ZeroRate(t *testing.T) {
+	got, err := LeaveOneOutTotalsMM1([]float64{1, 2}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero rate: %v", got)
+	}
+}

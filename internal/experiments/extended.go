@@ -36,21 +36,24 @@ func RateSweep(rates []float64) ([]RateSweepRow, error) {
 	if len(rates) == 0 {
 		rates = []float64{1, 2, 5, 10, 20, 30, 40}
 	}
-	m := mech.CompensationBonus{}
 	low2, err := ExperimentByName("Low2")
 	if err != nil {
 		return nil, err
 	}
+	// Both outcomes of each rate are read together, so the truthful and
+	// deviating runs keep separate engine buffers.
+	truthEng := mech.NewEngine(mech.CompensationBonus{})
+	devEng := mech.NewEngine(mech.CompensationBonus{})
 	var rows []RateSweepRow
 	for _, r := range rates {
 		if r <= 0 {
 			return nil, fmt.Errorf("experiments: invalid rate %g", r)
 		}
-		truth, err := m.Run(mech.Truthful(PaperTrueValues()), r)
+		truth, err := truthEng.Run(mech.Truthful(PaperTrueValues()), r)
 		if err != nil {
 			return nil, err
 		}
-		dev, err := m.Run(low2.Agents(), r)
+		dev, err := devEng.Run(low2.Agents(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +90,7 @@ func SizeSweep(sizes []int) ([]SizeSweepRow, error) {
 		sizes = []int{4, 8, 16, 32, 64, 128}
 	}
 	ladder := []float64{1, 2, 5, 10}
-	m := mech.CompensationBonus{}
+	eng := mech.NewEngine(mech.CompensationBonus{})
 	var rows []SizeSweepRow
 	for _, n := range sizes {
 		if n < 2 {
@@ -98,7 +101,7 @@ func SizeSweep(sizes []int) ([]SizeSweepRow, error) {
 			ts[i] = ladder[i%len(ladder)]
 		}
 		rate := 1.25 * float64(n) // paper density: R=20 for n=16
-		o, err := m.Run(mech.Truthful(ts), rate)
+		o, err := eng.Run(mech.Truthful(ts), rate)
 		if err != nil {
 			return nil, err
 		}
@@ -185,18 +188,21 @@ func DeviationSurface(bidFactors, execFactors []float64) ([]SurfaceRow, error) {
 	if len(execFactors) == 0 {
 		execFactors = []float64{1, 1.5, 2, 3}
 	}
-	m := mech.CompensationBonus{}
-	truth, err := m.Run(mech.Truthful(PaperTrueValues()), PaperRate)
+	eng := mech.NewEngine(mech.CompensationBonus{})
+	truth, err := eng.Run(mech.Truthful(PaperTrueValues()), PaperRate)
 	if err != nil {
 		return nil, err
 	}
+	// Only this scalar outlives the truthful run; the deviation runs
+	// below reuse the same engine buffers.
+	truthU := truth.Utility[0]
 	var rows []SurfaceRow
 	for _, bf := range bidFactors {
 		for _, ef := range execFactors {
 			agents := mech.Truthful(PaperTrueValues())
 			agents[0].Bid = bf * agents[0].True
 			agents[0].Exec = ef * agents[0].True
-			o, err := m.Run(agents, PaperRate)
+			o, err := eng.Run(agents, PaperRate)
 			if err != nil {
 				return nil, err
 			}
@@ -204,7 +210,7 @@ func DeviationSurface(bidFactors, execFactors []float64) ([]SurfaceRow, error) {
 				BidFactor:  bf,
 				ExecFactor: ef,
 				Utility:    o.Utility[0],
-				Loss:       truth.Utility[0] - o.Utility[0],
+				Loss:       truthU - o.Utility[0],
 			})
 		}
 	}

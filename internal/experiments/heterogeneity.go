@@ -37,7 +37,7 @@ func HeterogeneitySweep(spreads []float64) ([]HeterogeneityRow, error) {
 	}
 	const n = 8
 	const rate = 10.0
-	m := mech.CompensationBonus{}
+	eng := mech.NewEngine(mech.CompensationBonus{})
 	var rows []HeterogeneityRow
 	for _, spread := range spreads {
 		if spread < 1 {
@@ -47,7 +47,7 @@ func HeterogeneitySweep(spreads []float64) ([]HeterogeneityRow, error) {
 		for i := range ts {
 			ts[i] = math.Pow(spread, float64(i)/float64(n-1))
 		}
-		o, err := m.Run(mech.Truthful(ts), rate)
+		o, err := eng.Run(mech.Truthful(ts), rate)
 		if err != nil {
 			return nil, err
 		}

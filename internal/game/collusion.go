@@ -59,6 +59,9 @@ func Collusion(m mech.Mechanism, ts []float64, rate float64, i, j int, grid Grid
 		bfi := grid.BidFactors[bi]
 		local := best{joint: math.Inf(-1)}
 		pop := append([]mech.Agent(nil), agents...)
+		// Engines are not goroutine-safe, so each worker closure owns
+		// one alongside its own population copy.
+		eng := mech.NewEngine(m)
 		for _, efi := range grid.ExecFactors {
 			if efi < 1 {
 				continue
@@ -72,7 +75,7 @@ func Collusion(m mech.Mechanism, ts []float64, rate float64, i, j int, grid Grid
 					pop[i].Exec = efi * pop[i].True
 					pop[j].Bid = bfj * pop[j].True
 					pop[j].Exec = efj * pop[j].True
-					o, err := m.Run(pop, rate)
+					o, err := eng.Run(pop, rate)
 					if err != nil {
 						continue
 					}

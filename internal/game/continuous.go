@@ -22,9 +22,12 @@ func ContinuousBestResponse(m mech.Mechanism, agents []mech.Agent, rate float64,
 	}
 	pop := append([]mech.Agent(nil), agents...)
 	pop[i].Exec = pop[i].True
+	// The closure reads only the scalar Utility[i], so every probe can
+	// share one engine's outcome buffers.
+	eng := mech.NewEngine(m)
 	utility := func(b float64) float64 {
 		pop[i].Bid = b
-		o, err := m.Run(pop, rate)
+		o, err := eng.Run(pop, rate)
 		if err != nil {
 			return math.Inf(-1)
 		}

@@ -83,7 +83,10 @@ func VerifyTruthfulness(m mech.Mechanism, agents []mech.Agent, rate float64, i i
 	}
 	pop := append([]mech.Agent(nil), agents...)
 	pop[i].Bid, pop[i].Exec = pop[i].True, pop[i].True
-	truthO, err := m.Run(pop, rate)
+	// One engine serves the whole scan: only the scalar Utility[i] is
+	// read from each outcome before the next run reuses its buffers.
+	eng := mech.NewEngine(m)
+	truthO, err := eng.Run(pop, rate)
 	if err != nil {
 		return nil, fmt.Errorf("game: truthful run: %w", err)
 	}
@@ -99,7 +102,7 @@ func VerifyTruthfulness(m mech.Mechanism, agents []mech.Agent, rate float64, i i
 			}
 			pop[i].Bid = bf * pop[i].True
 			pop[i].Exec = ef * pop[i].True
-			o, err := m.Run(pop, rate)
+			o, err := eng.Run(pop, rate)
 			if err != nil {
 				// Infeasible corner (e.g. M/M/1 exclusion capacity);
 				// skip rather than abort the whole scan.
@@ -123,6 +126,12 @@ func VerifyTruthfulness(m mech.Mechanism, agents []mech.Agent, rate float64, i i
 // executing at its true value. Ties break toward the earlier
 // candidate.
 func BestResponse(m mech.Mechanism, agents []mech.Agent, rate float64, i int, candidates []float64) (bestBid, bestUtility float64, err error) {
+	return bestResponse(mech.NewEngine(m), agents, rate, i, candidates)
+}
+
+// bestResponse is BestResponse on a caller-owned engine, so repeated
+// scans (Dynamics) share one set of outcome buffers.
+func bestResponse(eng *mech.Engine, agents []mech.Agent, rate float64, i int, candidates []float64) (bestBid, bestUtility float64, err error) {
 	if i < 0 || i >= len(agents) {
 		return 0, 0, fmt.Errorf("game: agent index %d out of range", i)
 	}
@@ -138,7 +147,7 @@ func BestResponse(m mech.Mechanism, agents []mech.Agent, rate float64, i int, ca
 			continue
 		}
 		pop[i].Bid = b
-		o, err := m.Run(pop, rate)
+		o, err := eng.Run(pop, rate)
 		if err != nil {
 			continue
 		}
@@ -166,13 +175,14 @@ func Dynamics(m mech.Mechanism, agents []mech.Agent, rate float64, candidates []
 		tol = 1e-9
 	}
 	pop := append([]mech.Agent(nil), agents...)
+	eng := mech.NewEngine(m)
 	for round := 0; round < maxRounds; round++ {
 		moved := false
 		for i := range pop {
 			// Candidate set always includes the truth and the current
 			// bid so the dynamics can stand still.
 			cands := append([]float64{pop[i].True, pop[i].Bid}, candidates...)
-			best, _, err := BestResponse(m, pop, rate, i, cands)
+			best, _, err := bestResponse(eng, pop, rate, i, cands)
 			if err != nil {
 				return history, false, err
 			}

@@ -184,6 +184,11 @@ func Learn(cfg LearnConfig) (*LearnResult, error) {
 	}
 
 	rng := numeric.NewRand(cfg.Seed)
+	// Two engines: the round outcome o must survive the counterfactual
+	// re-runs below (o.Utility[i] is read for the played arm), so the
+	// counterfactuals run on their own buffers.
+	roundEng := mech.NewEngine(cfg.Mechanism)
+	cfEng := mech.NewEngine(cfg.Mechanism)
 	learners := make([]Learner, n)
 	for i := range learners {
 		learners[i] = newLearner(len(cfg.BidFactors))
@@ -201,7 +206,7 @@ func Learn(cfg LearnConfig) (*LearnResult, error) {
 			agents[i].Bid = cfg.BidFactors[choices[i]] * agents[i].True
 			agents[i].Exec = agents[i].True
 		}
-		o, err := cfg.Mechanism.Run(agents, cfg.Rate)
+		o, err := roundEng.Run(agents, cfg.Rate)
 		if err != nil {
 			return nil, fmt.Errorf("game: round %d: %w", round, err)
 		}
@@ -223,7 +228,7 @@ func Learn(cfg LearnConfig) (*LearnResult, error) {
 					continue
 				}
 				agents[i].Bid = f * agents[i].True
-				cf, err := cfg.Mechanism.Run(agents, cfg.Rate)
+				cf, err := cfEng.Run(agents, cfg.Rate)
 				if err != nil {
 					return nil, fmt.Errorf("game: counterfactual: %w", err)
 				}

@@ -44,11 +44,13 @@ func NoisyVerificationGain(ts []float64, rate float64, i int, sigma float64, sam
 		samples = 400
 	}
 	rng := numeric.NewRand(seed)
-	m := mech.CompensationBonus{}
+	eng := mech.NewEngine(mech.CompensationBonus{})
 	grid := DefaultGrid()
 
 	// expectedUtility Monte-Carlo-averages agent i's utility when the
-	// mechanism sees a noisy estimate of its execution value.
+	// mechanism sees a noisy estimate of its execution value. Each
+	// sample reads two scalars from the shared engine outcome before
+	// the next sample overwrites it.
 	expectedUtility := func(bidF, execF float64) (float64, error) {
 		agents := mech.Truthful(ts)
 		agents[i].Bid = bidF * ts[i]
@@ -60,7 +62,7 @@ func NoisyVerificationGain(ts []float64, rate float64, i int, sigma float64, sam
 				noisy = 1e-9
 			}
 			agents[i].Exec = noisy
-			o, err := m.Run(agents, rate)
+			o, err := eng.Run(agents, rate)
 			if err != nil {
 				return 0, err
 			}

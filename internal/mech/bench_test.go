@@ -1,0 +1,67 @@
+package mech
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// benchAgents builds a deterministic heterogeneous population with
+// speeds spread over several orders of magnitude.
+func benchAgents(n int) []Agent {
+	rng := numeric.NewRand(0xb5)
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Pow(10, 4*rng.Float64()-2)
+	}
+	return Truthful(ts)
+}
+
+// BenchmarkMechPayments measures the verification mechanism's payment
+// computation across population sizes on the linear model:
+//
+//	engine/n=N — zero-allocation steady state through a reused Engine
+//	run/n=N    — plain CompensationBonus.Run (fresh Outcome per call)
+//	naive/n=N  — the O(n^2) per-exclusion reference path
+//
+// The recorded baseline lives in BENCH_mech.json (make bench).
+func BenchmarkMechPayments(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		agents := benchAgents(n)
+		rate := float64(n)
+
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			eng := NewEngine(CompensationBonus{})
+			if _, err := eng.Run(agents, rate); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(agents, rate); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("run/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (CompensationBonus{}).Run(agents, rate); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (NaiveCompensationBonus{}).Run(agents, rate); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

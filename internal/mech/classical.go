@@ -26,21 +26,30 @@ func (m Classical) Name() string { return "classical-obedient" }
 // which is why a selfish agent prefers to bid high and receive less
 // work.
 func (m Classical) Run(agents []Agent, rate float64) (*Outcome, error) {
+	return runFresh(m, agents, rate)
+}
+
+// runInto implements intoRunner.
+func (m Classical) runInto(o *Outcome, s *scratch, agents []Agent, rate float64) error {
 	if len(agents) < 2 {
-		return nil, ErrNeedTwoAgents
+		return ErrNeedTwoAgents
 	}
 	if err := validateAgents(agents, rate); err != nil {
-		return nil, err
+		return err
 	}
 	mdl := m.model()
-	x, err := mdl.Alloc(Bids(agents), rate)
+	bids := s.gatherBids(agents)
+	o.reset(m.Name(), mdl, ValuationPerJob, rate, len(agents))
+	x, err := modelAllocInto(mdl, bids, rate, o.Alloc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	o := newOutcome(m.Name(), mdl, ValuationPerJob, agents, rate, x)
+	o.Alloc = x
+	o.BidLatency = s.bidCosts(mdl, bids, x)
+	o.RealLatency = realTotal(mdl, agents, x)
 	for i, a := range agents {
 		o.Valuation[i] = -mdl.Latency(a.Exec, x[i])
 		o.Utility[i] = o.Valuation[i]
 	}
-	return o, nil
+	return nil
 }

@@ -1,0 +1,337 @@
+package mech
+
+// Differential tests for the O(n) leave-one-out payment engine: every
+// payment, bonus and aggregate must match the O(n^2) per-exclusion
+// reference (NaiveCompensationBonus, and fast models stripped to the
+// base interface) up to floating-point roundoff. The two paths sum the
+// same positive terms in different orders, so each aggregate agrees to
+// a few ulps of its own magnitude; the bonus subtracts two such
+// aggregates, so its absolute error is bounded by ulps of the
+// aggregate scale, not of the (possibly tiny) bonus itself — hence the
+// scaled tolerance below (see DESIGN.md section 10).
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// diffTol returns the comparison tolerance for outcomes of the given
+// reference run: relative to the aggregate magnitudes whose rounding
+// dominates both paths.
+func diffTol(ref *Outcome) float64 {
+	return 1e-10 * (1 + math.Abs(ref.BidLatency) + math.Abs(ref.RealLatency))
+}
+
+// compareOutcomes asserts that every per-agent field of got matches
+// want within tol.
+func compareOutcomes(t *testing.T, got, want *Outcome, tol float64) {
+	t.Helper()
+	if len(got.Payment) != len(want.Payment) {
+		t.Fatalf("length mismatch: %d vs %d", len(got.Payment), len(want.Payment))
+	}
+	check := func(field string, g, w []float64) {
+		t.Helper()
+		for i := range w {
+			if diff := math.Abs(g[i] - w[i]); !(diff <= tol) {
+				t.Errorf("%s[%d] = %.17g, want %.17g (diff %g, tol %g)", field, i, g[i], w[i], diff, tol)
+			}
+		}
+	}
+	check("Alloc", got.Alloc, want.Alloc)
+	check("Compensation", got.Compensation, want.Compensation)
+	check("Bonus", got.Bonus, want.Bonus)
+	check("Payment", got.Payment, want.Payment)
+	check("Valuation", got.Valuation, want.Valuation)
+	check("Utility", got.Utility, want.Utility)
+	if diff := math.Abs(got.BidLatency - want.BidLatency); !(diff <= tol) {
+		t.Errorf("BidLatency = %v, want %v", got.BidLatency, want.BidLatency)
+	}
+	if diff := math.Abs(got.RealLatency - want.RealLatency); !(diff <= tol) {
+		t.Errorf("RealLatency = %v, want %v", got.RealLatency, want.RealLatency)
+	}
+}
+
+// diffPopulation builds a deterministic adversarial population: speeds
+// log-uniform over six orders of magnitude, some deviant bids and
+// execution slowdowns, optionally one dominant fast machine.
+func diffPopulation(rng *numeric.Rand, n int, dominant bool) []Agent {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Pow(10, 6*rng.Float64()-3)
+	}
+	if dominant {
+		ts[0] = 1e-6
+	}
+	agents := Truthful(ts)
+	for i := range agents {
+		switch rng.Intn(4) {
+		case 0:
+			agents[i].Bid = ts[i] * (0.5 + rng.Float64())
+		case 1:
+			agents[i].Exec = ts[i] * (1 + 2*rng.Float64())
+		case 2:
+			agents[i].Bid = ts[i] * (0.5 + rng.Float64())
+			agents[i].Exec = ts[i] * (1 + 2*rng.Float64())
+		}
+	}
+	return agents
+}
+
+func TestFastMatchesNaiveLinear(t *testing.T) {
+	rng := numeric.NewRand(101)
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + int(rng.Uint64()%50)
+		agents := diffPopulation(rng, n, trial%4 == 0)
+		rate := (0.5 + 10*rng.Float64()) * float64(n)
+		fast, err := CompensationBonus{}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: fast: %v", trial, err)
+		}
+		naive, err := NaiveCompensationBonus{}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v", trial, err)
+		}
+		compareOutcomes(t, fast, naive, diffTol(naive))
+	}
+}
+
+func TestFallbackMatchesNaiveLinear(t *testing.T) {
+	// A stripped model forces the engine's per-exclusion fallback; it
+	// must agree with the reference too.
+	rng := numeric.NewRand(202)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + int(rng.Uint64()%20)
+		agents := diffPopulation(rng, n, trial%4 == 0)
+		rate := float64(n)
+		fallback, err := CompensationBonus{Model: StripFastPaths(LinearModel{})}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: fallback: %v", trial, err)
+		}
+		naive, err := NaiveCompensationBonus{}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v", trial, err)
+		}
+		compareOutcomes(t, fallback, naive, diffTol(naive))
+	}
+}
+
+// naiveVCGAndBid recomputes the VCG and no-verification payments the
+// O(n^2) way, directly from their definitions.
+func naiveVCGPayment(bids []float64, x []float64, i int, lExcl float64) float64 {
+	var others numeric.KahanSum
+	for j := range bids {
+		if j != i {
+			others.Add(bids[j] * x[j] * x[j])
+		}
+	}
+	return lExcl - others.Value()
+}
+
+func TestFastMatchesNaiveVCGAndBidVariant(t *testing.T) {
+	rng := numeric.NewRand(303)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + int(rng.Uint64()%30)
+		agents := diffPopulation(rng, n, trial%5 == 0)
+		rate := float64(n)
+
+		vcgFast, err := VCG{}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: vcg fast: %v", trial, err)
+		}
+		vcgRef, err := VCG{Model: StripFastPaths(LinearModel{})}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: vcg ref: %v", trial, err)
+		}
+		compareOutcomes(t, vcgFast, vcgRef, diffTol(vcgRef))
+		// Cross-check the Clarke payment against its textbook form.
+		bids := Bids(agents)
+		tol := diffTol(vcgRef)
+		for i := range agents {
+			lExcl, err := LinearModel{}.OptimalTotal(excludeCopy(bids, i), rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveVCGPayment(bids, vcgRef.Alloc, i, lExcl)
+			if diff := math.Abs(vcgFast.Payment[i] - want); !(diff <= tol) {
+				t.Errorf("trial %d: VCG payment[%d] = %v, want %v", trial, i, vcgFast.Payment[i], want)
+			}
+		}
+
+		bidFast, err := BidCompensationBonus{}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: bid fast: %v", trial, err)
+		}
+		bidRef, err := BidCompensationBonus{Model: StripFastPaths(LinearModel{})}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: bid ref: %v", trial, err)
+		}
+		compareOutcomes(t, bidFast, bidRef, diffTol(bidRef))
+	}
+}
+
+// excludeCopy is a test-local allocation-happy exclusion.
+func excludeCopy(v []float64, i int) []float64 {
+	out := append([]float64(nil), v[:i]...)
+	return append(out, v[i+1:]...)
+}
+
+func TestFastMatchesNaiveMM1(t *testing.T) {
+	rng := numeric.NewRand(404)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + int(rng.Uint64()%10)
+		ts := make([]float64, n)
+		capacity := 0.0
+		slowest := math.Inf(1)
+		for i := range ts {
+			ts[i] = math.Pow(10, 2*rng.Float64()-1) // service times 0.1 .. 10
+			capacity += 1 / ts[i]
+			if 1/ts[i] < slowest {
+				slowest = 1 / ts[i]
+			}
+		}
+		// Keep every exclusion feasible; every third trial lightly
+		// loaded so slow queues idle.
+		frac := 0.5
+		if trial%3 == 0 {
+			frac = 0.05
+		}
+		rate := frac * (capacity - (capacity - slowest)) // conservative: below min exclusion capacity
+		rate = frac * slowest
+		if rate <= 0 {
+			continue
+		}
+		agents := Truthful(ts)
+		for i := range agents {
+			if rng.Intn(3) == 0 {
+				agents[i].Exec = ts[i] * (1 + rng.Float64())
+			}
+		}
+		fast, err := CompensationBonus{Model: MM1Model{}}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: fast: %v", trial, err)
+		}
+		ref, err := CompensationBonus{Model: StripFastPaths(MM1Model{})}.Run(agents, rate)
+		if err != nil {
+			t.Fatalf("trial %d: ref: %v", trial, err)
+		}
+		// The reference exclusion optima come from a bisection solver
+		// with ~1e-13 relative multiplier tolerance, so the comparison
+		// is looser than the linear case.
+		tol := 1e-6 * (1 + math.Abs(ref.BidLatency) + math.Abs(ref.RealLatency))
+		compareOutcomes(t, fast, ref, tol)
+	}
+}
+
+func TestFastMatchesNaiveMM1InfeasibleExclusion(t *testing.T) {
+	// Capacity 12 total but only 2 without the fast queue: both paths
+	// must reject rate 3.
+	ts := []float64{0.1, 1, 1}
+	if _, err := (CompensationBonus{Model: MM1Model{}}).Run(Truthful(ts), 3); err == nil {
+		t.Error("fast path accepted an infeasible exclusion")
+	}
+	if _, err := (CompensationBonus{Model: StripFastPaths(MM1Model{})}).Run(Truthful(ts), 3); err == nil {
+		t.Error("reference path accepted an infeasible exclusion")
+	}
+}
+
+// FuzzPaymentsFastVsNaive fuzzes the linear fast path against the
+// reference on small populations derived from the fuzz input.
+func FuzzPaymentsFastVsNaive(f *testing.F) {
+	f.Add(uint64(1), 4, 1.0, 8.0)
+	f.Add(uint64(99), 2, 1e-5, 1.0)
+	f.Add(uint64(7), 16, 100.0, 20.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n int, scale, rate float64) {
+		if n < 2 || n > 64 || !(scale > 1e-9) || scale > 1e9 || !(rate > 0) || rate > 1e9 {
+			t.Skip()
+		}
+		rng := numeric.NewRand(seed)
+		agents := diffPopulation(rng, n, seed%3 == 0)
+		for i := range agents {
+			agents[i].True *= scale
+			agents[i].Bid *= scale
+			agents[i].Exec *= scale
+		}
+		fast, err1 := CompensationBonus{}.Run(agents, rate)
+		naive, err2 := NaiveCompensationBonus{}.Run(agents, rate)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error divergence: fast %v, naive %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		compareOutcomes(t, fast, naive, diffTol(naive))
+	})
+}
+
+func TestEngineMatchesRunAndReusesOutcome(t *testing.T) {
+	agents := Truthful([]float64{1, 2, 5, 10})
+	eng := NewEngine(CompensationBonus{})
+	var first *Outcome
+	for k := 0; k < 3; k++ {
+		o, err := eng.Run(agents, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = o
+		} else if o != first {
+			t.Error("engine did not reuse its outcome")
+		}
+		want, err := CompensationBonus{}.Run(agents, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareOutcomes(t, o, want, 0) // identical code path: bitwise equal
+	}
+	// Clone detaches from the engine buffers.
+	o, err := eng.Run(agents, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := o.Clone()
+	pay := c.Payment[0]
+	if _, err := eng.Run(Truthful([]float64{3, 3}), 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Payment[0] != pay {
+		t.Error("Clone shares engine buffers")
+	}
+	// Engines fall back to plain Run for mechanisms without scratch
+	// support.
+	at := NewEngine(ArcherTardos{})
+	o1, err := at.Run(agents, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := at.Run(agents, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 == o2 {
+		t.Error("fallback engine unexpectedly reused an outcome")
+	}
+}
+
+func TestEngineSizeChanges(t *testing.T) {
+	// Growing and shrinking populations through one engine must match
+	// fresh runs exactly.
+	eng := NewEngine(CompensationBonus{})
+	for _, n := range []int{2, 16, 3, 40, 2} {
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = 1 + float64(i%7)
+		}
+		agents := Truthful(ts)
+		o, err := eng.Run(agents, float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CompensationBonus{}.Run(agents, float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareOutcomes(t, o, want, 0)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/alloc"
 	"repro/internal/numeric"
 )
 
@@ -196,40 +195,49 @@ func (m CompensationBonus) model() Model {
 // Name implements Mechanism.
 func (m CompensationBonus) Name() string { return "compensation-bonus-verification" }
 
-// Run implements Mechanism.
+// Run implements Mechanism. The payment vector is computed by the
+// leave-one-out engine: for models with the LeaveOneOutModel
+// capability every exclusion optimum L*(b_{-i}) comes from one shared
+// pass, and the "everyone but i" realized sums come from compensated
+// prefix/suffix sums, so the whole run is O(n) for the linear model
+// instead of the O(n^2) of the per-exclusion reference path (kept as
+// NaiveCompensationBonus for differential testing).
 func (m CompensationBonus) Run(agents []Agent, rate float64) (*Outcome, error) {
+	return runFresh(m, agents, rate)
+}
+
+// runInto implements intoRunner.
+func (m CompensationBonus) runInto(o *Outcome, s *scratch, agents []Agent, rate float64) error {
 	if len(agents) < 2 {
-		return nil, ErrNeedTwoAgents
+		return ErrNeedTwoAgents
 	}
 	if err := validateAgents(agents, rate); err != nil {
-		return nil, err
+		return err
 	}
 	mdl := m.model()
-	bids := Bids(agents)
-	x, err := mdl.Alloc(bids, rate)
+	bids := s.gatherBids(agents)
+	o.reset(m.Name(), mdl, ValuationPerJob, rate, len(agents))
+	x, err := modelAllocInto(mdl, bids, rate, o.Alloc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	o := newOutcome(m.Name(), mdl, ValuationPerJob, agents, rate, x)
+	o.Alloc = x
+	if err := s.leaveOneOutOptima(mdl, bids, rate); err != nil {
+		return err
+	}
+	o.BidLatency = s.bidCosts(mdl, bids, x)
+	o.RealLatency = realTotal(mdl, agents, x)
 	for i, a := range agents {
-		lExcl, err := exclusionModel(mdl, i).OptimalTotal(alloc.Exclude(bids, i), rate)
-		if err != nil {
-			return nil, fmt.Errorf("mech: exclusion optimum for agent %d: %w", i, err)
-		}
-		var others numeric.KahanSum
-		for j := range agents {
-			if j != i {
-				others.Add(mdl.TotalCost(bids[j], x[j]))
-			}
-		}
-		realized := mdl.TotalCost(a.Exec, x[i]) + others.Value()
+		// realized = L(x(b); ť_i, b_{-i}): everyone priced at its bid
+		// except agent i, priced at its verified execution value.
+		realized := s.looCost[i] + mdl.TotalCost(a.Exec, x[i])
 		o.Compensation[i] = mdl.Latency(a.Exec, x[i])
-		o.Bonus[i] = lExcl - realized
+		o.Bonus[i] = s.loo[i] - realized
 		o.Payment[i] = o.Compensation[i] + o.Bonus[i]
 		o.Valuation[i] = -mdl.Latency(a.Exec, x[i])
 		o.Utility[i] = o.Payment[i] + o.Valuation[i]
 	}
-	return o, nil
+	return nil
 }
 
 // BidCompensationBonus is the same compensation-and-bonus construction
@@ -261,31 +269,39 @@ func (m BidCompensationBonus) model() Model {
 // Name implements Mechanism.
 func (m BidCompensationBonus) Name() string { return "compensation-bonus-noverification" }
 
-// Run implements Mechanism.
+// Run implements Mechanism, on the same leave-one-out engine as
+// CompensationBonus.
 func (m BidCompensationBonus) Run(agents []Agent, rate float64) (*Outcome, error) {
+	return runFresh(m, agents, rate)
+}
+
+// runInto implements intoRunner.
+func (m BidCompensationBonus) runInto(o *Outcome, s *scratch, agents []Agent, rate float64) error {
 	if len(agents) < 2 {
-		return nil, ErrNeedTwoAgents
+		return ErrNeedTwoAgents
 	}
 	if err := validateAgents(agents, rate); err != nil {
-		return nil, err
+		return err
 	}
 	mdl := m.model()
-	bids := Bids(agents)
-	x, err := mdl.Alloc(bids, rate)
+	bids := s.gatherBids(agents)
+	o.reset(m.Name(), mdl, ValuationPerJob, rate, len(agents))
+	x, err := modelAllocInto(mdl, bids, rate, o.Alloc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	o := newOutcome(m.Name(), mdl, ValuationPerJob, agents, rate, x)
+	o.Alloc = x
+	if err := s.leaveOneOutOptima(mdl, bids, rate); err != nil {
+		return err
+	}
+	o.BidLatency = s.bidCosts(mdl, bids, x)
+	o.RealLatency = realTotal(mdl, agents, x)
 	for i, a := range agents {
-		lExcl, err := exclusionModel(mdl, i).OptimalTotal(alloc.Exclude(bids, i), rate)
-		if err != nil {
-			return nil, fmt.Errorf("mech: exclusion optimum for agent %d: %w", i, err)
-		}
 		o.Compensation[i] = mdl.Latency(a.Bid, x[i])
-		o.Bonus[i] = lExcl - o.BidLatency
+		o.Bonus[i] = s.loo[i] - o.BidLatency
 		o.Payment[i] = o.Compensation[i] + o.Bonus[i]
 		o.Valuation[i] = -mdl.Latency(a.Exec, x[i])
 		o.Utility[i] = o.Payment[i] + o.Valuation[i]
 	}
-	return o, nil
+	return nil
 }

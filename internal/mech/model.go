@@ -65,6 +65,32 @@ type OneParameterModel interface {
 	Work(x float64) float64
 }
 
+// LeaveOneOutModel is a Model that can compute every "system without
+// agent i" optimal total in one pass instead of n independent solves.
+// Mechanisms that price agents against exclusion optima (the paper's
+// compensation-and-bonus mechanism, VCG) use this capability to run in
+// O(n) or O(n log n) instead of O(n^2); models without it fall back to
+// the per-exclusion reference path.
+type LeaveOneOutModel interface {
+	Model
+	// LeaveOneOutOptima fills out[i] with OptimalTotal of the system
+	// with agent i removed, for every i, and returns the filled slice
+	// (out is resized as needed). Results must match the per-exclusion
+	// OptimalTotal up to floating-point roundoff, including its error
+	// behavior for infeasible exclusions.
+	LeaveOneOutOptima(values []float64, rate float64, out []float64) ([]float64, error)
+}
+
+// InPlaceAllocator is a Model that can write its allocation into a
+// caller-provided buffer, keeping the mechanism hot path free of
+// steady-state allocations.
+type InPlaceAllocator interface {
+	Model
+	// AllocInto is Alloc writing into dst (resized as needed) and
+	// returning the filled slice.
+	AllocInto(values []float64, rate float64, dst []float64) ([]float64, error)
+}
+
 // LinearModel is the paper's model: per-job latency l(x) = t*x, total
 // cost t*x^2.
 type LinearModel struct{}
@@ -101,6 +127,23 @@ func (LinearModel) OptimalTotal(values []float64, rate float64) (float64, error)
 
 // Work implements OneParameterModel: w(x) = x^2.
 func (LinearModel) Work(x float64) float64 { return x * x }
+
+// AllocInto implements InPlaceAllocator via the PR algorithm.
+func (LinearModel) AllocInto(values []float64, rate float64, dst []float64) ([]float64, error) {
+	return alloc.ProportionalInto(dst, values, rate)
+}
+
+// LeaveOneOutOptima implements LeaveOneOutModel with the closed form
+// L*_{-i} = R^2 / (sum_j 1/t_j - 1/t_i), evaluated without aggregate
+// subtraction via compensated prefix/suffix sums.
+func (LinearModel) LeaveOneOutOptima(values []float64, rate float64, out []float64) ([]float64, error) {
+	for i, v := range values {
+		if v <= 0 || math.IsNaN(v) {
+			return out, fmt.Errorf("mech: invalid value values[%d] = %g", i, v)
+		}
+	}
+	return alloc.LeaveOneOutOptimalLinear(values, rate, out), nil
+}
 
 // MM1Model treats each computer as an M/M/1 queue whose private value
 // is t = 1/mu (mean service time); per-job latency is the M/M/1
@@ -164,6 +207,34 @@ func (m MM1Model) OptimalTotal(values []float64, rate float64) (float64, error) 
 		return 0, err
 	}
 	return alloc.TotalLatency(fns, x), nil
+}
+
+// LeaveOneOutOptima implements LeaveOneOutModel using the closed-form
+// water-filling solution shared across all n exclusions (one sort plus
+// cumulative sums). Borderline active sets the closed form cannot
+// certify fall back to the generic KKT solver for that exclusion.
+func (m MM1Model) LeaveOneOutOptima(values []float64, rate float64, out []float64) ([]float64, error) {
+	mus := make([]float64, len(values))
+	for i, v := range values {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return out, fmt.Errorf("mech: invalid value values[%d] = %g", i, v)
+		}
+		mus[i] = 1 / v
+	}
+	out, err := alloc.LeaveOneOutTotalsMM1(mus, rate, out)
+	if err != nil {
+		return out, fmt.Errorf("mech: exclusion optimum: %w", err)
+	}
+	for i := range out {
+		if math.IsNaN(out[i]) {
+			v, err := m.OptimalTotal(alloc.Exclude(values, i), rate)
+			if err != nil {
+				return out, fmt.Errorf("mech: exclusion optimum for agent %d: %w", i, err)
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
 }
 
 // totalMixedCost returns sum_i TotalCost(values[i], x[i]).

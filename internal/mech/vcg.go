@@ -1,11 +1,5 @@
 package mech
 
-import (
-	"fmt"
-
-	"repro/internal/alloc"
-	"repro/internal/numeric"
-)
 
 // VCG is the Vickrey-Clarke-Groves mechanism with the Clarke pivot
 // rule, computed on bids alone — the textbook baseline *without*
@@ -36,39 +30,43 @@ func (m VCG) model() Model {
 // Name implements Mechanism.
 func (m VCG) Name() string { return "vcg-clarke" }
 
-// Run implements Mechanism.
+// Run implements Mechanism, on the same leave-one-out engine as the
+// compensation-and-bonus mechanisms: the Clarke pivot needs exactly
+// the exclusion optima and "everyone but i" cost sums the engine
+// produces in one pass.
 func (m VCG) Run(agents []Agent, rate float64) (*Outcome, error) {
+	return runFresh(m, agents, rate)
+}
+
+// runInto implements intoRunner.
+func (m VCG) runInto(o *Outcome, s *scratch, agents []Agent, rate float64) error {
 	if len(agents) < 2 {
-		return nil, ErrNeedTwoAgents
+		return ErrNeedTwoAgents
 	}
 	if err := validateAgents(agents, rate); err != nil {
-		return nil, err
+		return err
 	}
 	mdl := m.model()
-	bids := Bids(agents)
-	x, err := mdl.Alloc(bids, rate)
+	bids := s.gatherBids(agents)
+	o.reset(m.Name(), mdl, ValuationTotalLatency, rate, len(agents))
+	x, err := modelAllocInto(mdl, bids, rate, o.Alloc)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	o := newOutcome(m.Name(), mdl, ValuationTotalLatency, agents, rate, x)
+	o.Alloc = x
+	if err := s.leaveOneOutOptima(mdl, bids, rate); err != nil {
+		return err
+	}
+	o.BidLatency = s.bidCosts(mdl, bids, x)
+	o.RealLatency = realTotal(mdl, agents, x)
 	for i, a := range agents {
-		lExcl, err := exclusionModel(mdl, i).OptimalTotal(alloc.Exclude(bids, i), rate)
-		if err != nil {
-			return nil, fmt.Errorf("mech: exclusion optimum for agent %d: %w", i, err)
-		}
-		var others numeric.KahanSum
-		for j := range agents {
-			if j != i {
-				others.Add(mdl.TotalCost(bids[j], x[j]))
-			}
-		}
 		// Equivalent compensation-and-bonus presentation of Clarke:
 		// declared-cost reimbursement plus bid-based marginal surplus.
-		o.Compensation[i] = mdl.TotalCost(a.Bid, x[i])
-		o.Bonus[i] = lExcl - o.BidLatency
-		o.Payment[i] = lExcl - others.Value()
+		o.Compensation[i] = s.cost[i]
+		o.Bonus[i] = s.loo[i] - o.BidLatency
+		o.Payment[i] = s.loo[i] - s.looCost[i]
 		o.Valuation[i] = -mdl.TotalCost(a.Exec, x[i])
 		o.Utility[i] = o.Payment[i] + o.Valuation[i]
 	}
-	return o, nil
+	return nil
 }

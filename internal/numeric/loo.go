@@ -1,0 +1,62 @@
+package numeric
+
+// This file holds the leave-one-out summation primitives behind the
+// O(n) payment engine in internal/mech. A mechanism that prices every
+// agent against "the system without me" needs, for each i, the sum of
+// a vector with element i removed. Computing those n sums naively is
+// O(n^2); here they are produced in O(n) from a compensated prefix
+// pass and a compensated suffix pass, with no subtraction of
+// aggregates — every leave-one-out sum is built purely from additions
+// of the surviving terms, so there is no cancellation beyond the
+// ordinary rounding of a compensated sum and results agree with a
+// direct per-index Kahan sum to within a few ulps.
+
+// Resize returns s with length n, reusing its backing array when the
+// capacity allows and allocating a fresh slice otherwise. Contents are
+// unspecified; callers overwrite every element.
+func Resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// LeaveOneOutSums fills out[i] with the compensated sum of xs[j] over
+// all j != i and returns out (resized as needed). It runs in O(n):
+// a backward pass stores the compensated suffix sums, a forward pass
+// adds the compensated prefix sums. out must not alias xs.
+func LeaveOneOutSums(xs, out []float64) []float64 {
+	n := len(xs)
+	out = Resize(out, n)
+	var suf KahanSum
+	for i := n - 1; i >= 0; i-- {
+		out[i] = suf.Value()
+		suf.Add(xs[i])
+	}
+	var pre KahanSum
+	for i := 0; i < n; i++ {
+		out[i] = pre.Value() + out[i]
+		pre.Add(xs[i])
+	}
+	return out
+}
+
+// LeaveOneOutSumFunc is LeaveOneOutSums for a generated sequence: it
+// fills out[i] with the compensated sum of f(j) over all j != i,
+// evaluating f twice per index (once per direction) so that no
+// temporary slice of the terms is needed. It returns out, resized as
+// needed.
+func LeaveOneOutSumFunc(n int, f func(i int) float64, out []float64) []float64 {
+	out = Resize(out, n)
+	var suf KahanSum
+	for i := n - 1; i >= 0; i-- {
+		out[i] = suf.Value()
+		suf.Add(f(i))
+	}
+	var pre KahanSum
+	for i := 0; i < n; i++ {
+		out[i] = pre.Value() + out[i]
+		pre.Add(f(i))
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// looReference computes the leave-one-out sums the slow way: one
+// compensated sum per index, skipping index i.
+func looReference(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		var k KahanSum
+		for j, x := range xs {
+			if j != i {
+				k.Add(x)
+			}
+		}
+		out[i] = k.Value()
+	}
+	return out
+}
+
+func TestLeaveOneOutSumsMatchesReference(t *testing.T) {
+	rng := NewRand(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + int(rng.Uint64()%60)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Log-uniform magnitudes over six orders with mixed signs:
+			// the hostile regime for naive accumulation.
+			mag := math.Pow(10, 6*rng.Float64()-3)
+			if rng.Uint64()%2 == 0 {
+				mag = -mag
+			}
+			xs[i] = mag
+		}
+		got := LeaveOneOutSums(xs, nil)
+		want := looReference(xs)
+		for i := range xs {
+			scale := 1.0
+			for _, x := range xs {
+				scale += math.Abs(x)
+			}
+			if diff := math.Abs(got[i] - want[i]); diff > 1e-12*scale {
+				t.Fatalf("trial %d: loo[%d] = %v, want %v (diff %v)", trial, i, got[i], want[i], diff)
+			}
+		}
+	}
+}
+
+func TestLeaveOneOutSumsEdgeCases(t *testing.T) {
+	if got := LeaveOneOutSums(nil, nil); len(got) != 0 {
+		t.Errorf("empty input: got %v", got)
+	}
+	if got := LeaveOneOutSums([]float64{42}, nil); got[0] != 0 {
+		t.Errorf("singleton: got %v, want 0", got[0])
+	}
+	got := LeaveOneOutSums([]float64{1, 2}, nil)
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("pair: got %v", got)
+	}
+}
+
+func TestLeaveOneOutSumsReusesBuffer(t *testing.T) {
+	buf := make([]float64, 8)
+	xs := []float64{1, 2, 3}
+	got := LeaveOneOutSums(xs, buf)
+	if &got[0] != &buf[0] {
+		t.Error("buffer with sufficient capacity was not reused")
+	}
+	if got[0] != 5 || got[1] != 4 || got[2] != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLeaveOneOutSumFuncMatchesSlice(t *testing.T) {
+	xs := []float64{0.5, 3, 1e-6, 2e5, 7, 0.25}
+	fromSlice := LeaveOneOutSums(xs, nil)
+	fromFunc := LeaveOneOutSumFunc(len(xs), func(i int) float64 { return xs[i] }, nil)
+	for i := range xs {
+		if fromSlice[i] != fromFunc[i] {
+			t.Errorf("loo[%d]: slice %v, func %v", i, fromSlice[i], fromFunc[i])
+		}
+	}
+}
+
+func TestResize(t *testing.T) {
+	s := make([]float64, 2, 10)
+	if got := Resize(s, 7); cap(got) != 10 || len(got) != 7 {
+		t.Errorf("Resize kept cap=%d len=%d", cap(got), len(got))
+	}
+	if got := Resize(s, 11); len(got) != 11 {
+		t.Errorf("Resize grow len=%d", len(got))
+	}
+	if got := Resize(nil, 0); got != nil && len(got) != 0 {
+		t.Errorf("Resize nil: %v", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers returns the worker count to use: w if positive, otherwise
@@ -39,24 +40,22 @@ func ForEach(n, workers int, fn func(i int)) {
 		}
 		return
 	}
+	// Workers claim contiguous blocks of indices from an atomic cursor
+	// instead of taking a mutex round-trip per index: with cheap fn
+	// bodies the old one-index-at-a-time mutex serialized the whole
+	// loop. Blocks of ~1/16th of a fair share keep the tail balanced
+	// when per-index cost is skewed while amortizing the atomic op.
+	chunk := n / (w * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
 	var (
-		next int
-		mu   sync.Mutex
+		next atomic.Int64
 		wg   sync.WaitGroup
 
 		panicOnce sync.Once
 		panicked  any
 	)
-	grab := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		go func() {
@@ -67,11 +66,17 @@ func ForEach(n, workers int, fn func(i int)) {
 				}
 			}()
 			for {
-				i, ok := grab()
-				if !ok {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
 					return
 				}
-				fn(i)
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}
