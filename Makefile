@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fuzz difftest bench
+.PHONY: build test vet lint race check fuzz difftest bench
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always, staticcheck when installed (the CI
+# workflow installs it; locally it is optional).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not found, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -25,7 +34,7 @@ difftest:
 # The acceptance gate: static analysis, the differential payment tests
 # under -race, then the full suite (chaos matrix included) under the
 # race detector.
-check: vet difftest race
+check: lint difftest race
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/supervise

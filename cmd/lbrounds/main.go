@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/report"
 	"repro/internal/rounds"
@@ -32,6 +33,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	faultSpec := flag.String("faults", "", "fault plan, e.g. drop=0.05,crash=7 (see package faults)")
 	retries := flag.Int("retries", 0, "per-round retries before degrading to the responsive computers")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON then Prometheus text) after the run")
+	trace := flag.Bool("trace", false, "print the event trace after the run")
 	flag.Parse()
 
 	var inj faults.Injector
@@ -50,6 +53,11 @@ func main() {
 	}
 	pop[0].Strategy = protocol.FactorStrategy{BidFactor: *bidFactor, ExecFactor: *execFactor}
 
+	var ob *obs.Observer
+	if *metrics || *trace {
+		ob = obs.New(0)
+	}
+
 	res, err := rounds.Run(rounds.Config{
 		Computers:    pop,
 		Rate:         experiments.PaperRate,
@@ -59,8 +67,11 @@ func main() {
 		Policy:       rounds.Policy{Strikes: *strikes, BanRounds: *ban, ForgiveAfter: 10},
 		Faults:       inj,
 		MaxRetries:   *retries,
+		Obs:          ob,
 	})
 	if err != nil {
+		// Flush whatever was recorded up to the failure first.
+		ob.Dump(os.Stdout, *metrics, *trace)
 		fmt.Fprintln(os.Stderr, "lbrounds:", err)
 		os.Exit(1)
 	}
@@ -84,6 +95,13 @@ func main() {
 	tab.Render(os.Stdout)
 	fmt.Printf("\nsuspensions per computer: %v\n", res.Suspensions)
 	fmt.Println("note: while C1 is suspended the system runs at the optimum of the honest computers.")
+	if *metrics || *trace {
+		fmt.Println()
+		if err := ob.Dump(os.Stdout, *metrics, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "lbrounds:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func joinInts(xs []int) string {

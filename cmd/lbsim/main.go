@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -39,6 +40,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	faultSpec := flag.String("faults", "", "fault plan, e.g. drop=0.1,silent=3,stall=2@500:10 (see package faults)")
 	dropouts := flag.Bool("dropouts", false, "tolerate agents whose bids never arrive instead of aborting")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON then Prometheus text) after the run")
+	trace := flag.Bool("trace", false, "print the event trace after the run")
 	flag.Parse()
 
 	plan, err := faults.ParseSpec(*faultSpec)
@@ -48,6 +51,11 @@ func main() {
 	var inj faults.Injector
 	if *faultSpec != "" {
 		inj = plan
+	}
+
+	var ob *obs.Observer
+	if *metrics || *trace {
+		ob = obs.New(0)
 	}
 
 	var res *protocol.Result
@@ -68,6 +76,7 @@ func main() {
 		if *dropouts {
 			s.AllowDropouts = true
 		}
+		s.Obs = ob
 		res, err = s.Run()
 		if err != nil {
 			fatal(err)
@@ -88,6 +97,7 @@ func main() {
 			Seed:          *seed,
 			Faults:        inj,
 			AllowDropouts: *dropouts,
+			Obs:           ob,
 		})
 		if err != nil {
 			fatal(err)
@@ -96,6 +106,12 @@ func main() {
 			exp.Name, exp.BidFactor, exp.ExecFactor)
 	}
 	printResult(header, res)
+	if *metrics || *trace {
+		fmt.Println()
+		if err := ob.Dump(os.Stdout, *metrics, *trace); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func printResult(header string, res *protocol.Result) {
@@ -114,7 +130,9 @@ func printResult(header string, res *protocol.Result) {
 	for i := range res.Estimates {
 		est := res.Estimates[i]
 		flagged := ""
-		if res.Verdicts[i].Deviating {
+		if res.Verdicts[i].Invalid {
+			flagged = "INVALID"
+		} else if res.Verdicts[i].Deviating {
 			flagged = "DEVIATING"
 		}
 		tab.AddRow(

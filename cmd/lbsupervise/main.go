@@ -17,6 +17,7 @@ import (
 	"repro/internal/distmech"
 	"repro/internal/faults"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/supervise"
 )
@@ -28,6 +29,8 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan, e.g. drop=0.1,crash=3+7,byz=5@1.2 (see package faults)")
 	maxAttempts := flag.Int("max-attempts", 6, "retry budget")
 	deadline := flag.Float64("deadline", 0, "per-attempt deadline in simulated seconds (0 = none)")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON then Prometheus text) after the run")
+	trace := flag.Bool("trace", false, "print the event trace after the run")
 	flag.Parse()
 
 	var tree distmech.Topology
@@ -57,6 +60,11 @@ func main() {
 		agents[i] = mech.Agent{Name: fmt.Sprintf("C%d", i+1), True: t, Bid: t, Exec: t}
 	}
 
+	var ob *obs.Observer
+	if *metrics || *trace {
+		ob = obs.New(0)
+	}
+
 	rep, err := supervise.Run(distmech.Config{
 		Tree:   tree,
 		Agents: agents,
@@ -65,8 +73,14 @@ func main() {
 	}, supervise.Options{
 		MaxAttempts: *maxAttempts,
 		Deadline:    *deadline,
+		Obs:         ob,
 	})
 	fmt.Print(rep.Trace())
+	// Flush the snapshot before any fatal exit: a failed round's
+	// counters are exactly what an operator needs to see.
+	if derr := ob.Dump(os.Stdout, *metrics, *trace); derr != nil {
+		fatal(derr)
+	}
 	if err != nil {
 		fatal(err)
 	}

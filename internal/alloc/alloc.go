@@ -20,24 +20,57 @@ var ErrInfeasible = errors.New("alloc: arrival rate exceeds total capacity")
 // errNoComputers is returned by allocators given an empty system.
 var errNoComputers = errors.New("alloc: no computers")
 
+// ValueError reports an allocator input that is out of range or not
+// finite, naming the offending field. Rejecting NaN and Inf here keeps
+// them from flowing silently into allocations and payments — a NaN
+// rate used to produce an all-NaN "allocation" without any error.
+type ValueError struct {
+	// Field names the input, e.g. "rate" or "t[3]".
+	Field string
+	// Value is the rejected value.
+	Value float64
+}
+
+// Error implements error.
+func (e *ValueError) Error() string {
+	return fmt.Sprintf("alloc: invalid %s = %g", e.Field, e.Value)
+}
+
+// checkRate validates an arrival rate: finite and nonnegative.
+func checkRate(rate float64) error {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return &ValueError{Field: "rate", Value: rate}
+	}
+	return nil
+}
+
+// checkT validates a latency parameter: finite and positive.
+func checkT(i int, t float64) error {
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return &ValueError{Field: fmt.Sprintf("t[%d]", i), Value: t}
+	}
+	return nil
+}
+
 // Proportional implements the paper's PR algorithm (Theorem 2.1): for
 // linear latency functions l_i(x) = t_i*x, the total-latency-minimizing
 // allocation routes jobs in proportion to processing rates,
 //
 //	x_i = (1/t_i) / sum_j (1/t_j) * rate.
 //
-// It returns an error if rate < 0 or any t_i <= 0.
+// It returns a *ValueError if the rate is negative or non-finite or
+// any t_i is non-positive or non-finite.
 func Proportional(ts []float64, rate float64) ([]float64, error) {
-	if rate < 0 {
-		return nil, fmt.Errorf("alloc: negative arrival rate %g", rate)
+	if err := checkRate(rate); err != nil {
+		return nil, err
 	}
 	if len(ts) == 0 {
 		return nil, errNoComputers
 	}
 	var inv numeric.KahanSum
 	for i, t := range ts {
-		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-			return nil, fmt.Errorf("alloc: invalid latency parameter t[%d] = %g", i, t)
+		if err := checkT(i, t); err != nil {
+			return nil, err
 		}
 		inv.Add(1 / t)
 	}
@@ -50,10 +83,25 @@ func Proportional(ts []float64, rate float64) ([]float64, error) {
 }
 
 // OptimalLatencyLinear returns the minimum total latency for linear
-// models (Theorem 2.1): L* = rate^2 / sum_j (1/t_j).
-func OptimalLatencyLinear(ts []float64, rate float64) float64 {
+// models (Theorem 2.1): L* = rate^2 / sum_j (1/t_j). It validates its
+// inputs like Proportional — an empty system is errNoComputers rather
+// than a silent rate^2/0 = +Inf, and a non-positive or non-finite t
+// is a *ValueError rather than a silent L* = 0 — so the two faces of
+// the same theorem share one contract.
+func OptimalLatencyLinear(ts []float64, rate float64) (float64, error) {
+	if err := checkRate(rate); err != nil {
+		return 0, err
+	}
+	if len(ts) == 0 {
+		return 0, errNoComputers
+	}
+	for i, t := range ts {
+		if err := checkT(i, t); err != nil {
+			return 0, err
+		}
+	}
 	s := numeric.SumFunc(len(ts), func(i int) float64 { return 1 / ts[i] })
-	return rate * rate / s
+	return rate * rate / s, nil
 }
 
 // TotalLatencyLinear returns sum_i t_i * x_i^2, the total latency of
@@ -107,8 +155,8 @@ func Optimal(fns []latency.Function, rate float64) ([]float64, error) {
 	if n == 0 {
 		return nil, errNoComputers
 	}
-	if rate < 0 {
-		return nil, fmt.Errorf("alloc: negative arrival rate %g", rate)
+	if err := checkRate(rate); err != nil {
+		return nil, err
 	}
 	x := make([]float64, n)
 	if rate == 0 {

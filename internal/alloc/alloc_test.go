@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -32,7 +33,11 @@ func TestProportionalPaperConfiguration(t *testing.T) {
 	if math.Abs(l-78.431372549) > 1e-6 {
 		t.Errorf("optimal latency = %v, want 78.4314 (paper: 78.43)", l)
 	}
-	if got := OptimalLatencyLinear(ts, 20); !numeric.AlmostEqual(got, l, 1e-12, 1e-12) {
+	got, err := OptimalLatencyLinear(ts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, l, 1e-12, 1e-12) {
 		t.Errorf("closed form %v != realized %v", got, l)
 	}
 }
@@ -64,6 +69,67 @@ func TestProportionalErrors(t *testing.T) {
 	}
 	if _, err := Proportional([]float64{math.NaN()}, 1); err == nil {
 		t.Error("expected error for NaN t")
+	}
+}
+
+// Regression: a NaN or Inf arrival rate passed every `rate < 0` guard
+// (NaN comparisons are false) and produced an all-NaN "allocation"
+// with a nil error. The allocators now reject non-finite rates with a
+// typed *ValueError naming the field.
+func TestAllocatorsRejectNonFiniteRate(t *testing.T) {
+	ts := []float64{1, 2}
+	for _, rate := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		var ve *ValueError
+		if _, err := Proportional(ts, rate); !errors.As(err, &ve) {
+			t.Errorf("Proportional(rate=%v): err = %v, want *ValueError", rate, err)
+		} else if ve.Field != "rate" {
+			t.Errorf("Proportional(rate=%v): field = %q, want \"rate\"", rate, ve.Field)
+		}
+		if _, err := ProportionalInto(nil, ts, rate); !errors.As(err, &ve) {
+			t.Errorf("ProportionalInto(rate=%v): err = %v, want *ValueError", rate, err)
+		}
+		if _, err := Optimal(LinearFunctions(ts), rate); !errors.As(err, &ve) {
+			t.Errorf("Optimal(rate=%v): err = %v, want *ValueError", rate, err)
+		}
+		if _, err := OptimalLatencyLinear(ts, rate); !errors.As(err, &ve) {
+			t.Errorf("OptimalLatencyLinear(rate=%v): err = %v, want *ValueError", rate, err)
+		}
+		if _, err := LeaveOneOutTotalsMM1([]float64{3, 4}, rate, nil); !errors.As(err, &ve) {
+			t.Errorf("LeaveOneOutTotalsMM1(rate=%v): err = %v, want *ValueError", rate, err)
+		}
+	}
+}
+
+// Regression: OptimalLatencyLinear silently returned rate^2/0 = +Inf
+// for an empty system and L* = 0 for zero or negative t (the 1/t sum
+// went infinite). It now shares Proportional's validation contract.
+func TestOptimalLatencyLinearValidation(t *testing.T) {
+	if _, err := OptimalLatencyLinear(nil, 5); err == nil {
+		t.Error("expected error for empty system")
+	}
+	for _, bad := range [][]float64{
+		{1, 0},
+		{1, -2},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		var ve *ValueError
+		if _, err := OptimalLatencyLinear(bad, 5); !errors.As(err, &ve) {
+			t.Errorf("ts=%v: err = %v, want *ValueError", bad, err)
+		}
+	}
+	// The valid closed form still matches Theorem 2.1 exactly.
+	got, err := OptimalLatencyLinear([]float64{2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 16.0; got != want {
+		t.Errorf("L* = %v, want %v", got, want)
+	}
+	// Zero rate on a valid system is a valid zero, not an error.
+	got, err = OptimalLatencyLinear([]float64{2, 3}, 0)
+	if err != nil || got != 0 {
+		t.Errorf("zero rate: (%v, %v), want (0, nil)", got, err)
 	}
 }
 

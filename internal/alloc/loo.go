@@ -31,16 +31,16 @@ func ExcludeInto(dst, ts []float64, i int) []float64 {
 // (resized via numeric.Resize), so steady-state callers allocate
 // nothing. It returns the filled slice.
 func ProportionalInto(dst, ts []float64, rate float64) ([]float64, error) {
-	if rate < 0 {
-		return nil, fmt.Errorf("alloc: negative arrival rate %g", rate)
+	if err := checkRate(rate); err != nil {
+		return nil, err
 	}
 	if len(ts) == 0 {
 		return nil, errNoComputers
 	}
 	var inv numeric.KahanSum
 	for i, t := range ts {
-		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-			return nil, fmt.Errorf("alloc: invalid latency parameter t[%d] = %g", i, t)
+		if err := checkT(i, t); err != nil {
+			return nil, err
 		}
 		inv.Add(1 / t)
 	}
@@ -101,8 +101,8 @@ func LeaveOneOutOptimalLinear(ts []float64, rate float64, out []float64) []float
 func LeaveOneOutTotalsMM1(mus []float64, rate float64, out []float64) ([]float64, error) {
 	n := len(mus)
 	out = numeric.Resize(out, n)
-	if rate < 0 {
-		return out, fmt.Errorf("alloc: negative arrival rate %g", rate)
+	if err := checkRate(rate); err != nil {
+		return out, err
 	}
 	if rate == 0 {
 		clear(out)

@@ -71,7 +71,10 @@ func TestLeaveOneOutOptimalLinearMatchesPerExclusion(t *testing.T) {
 		rate := 1 + 10*rng.Float64()
 		got := LeaveOneOutOptimalLinear(ts, rate, nil)
 		for i := range ts {
-			want := OptimalLatencyLinear(Exclude(ts, i), rate)
+			want, err := OptimalLatencyLinear(Exclude(ts, i), rate)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if diff := math.Abs(got[i] - want); diff > 1e-10*(1+want) {
 				t.Fatalf("trial %d: loo[%d] = %v, want %v", trial, i, got[i], want)
 			}

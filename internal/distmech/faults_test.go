@@ -192,6 +192,48 @@ func TestPlanCrashAndByzantineMatchLegacyKnobs(t *testing.T) {
 	}
 }
 
+// Regression: composing the deprecated Crashed/CheatPayments knobs
+// with an explicit Faults plan targeting the same nodes must not
+// double-inject. Merge applies one fault per node, with the explicit
+// plan (listed first in FaultInjector) supplying the parameters.
+func TestLegacyKnobsComposeWithPlanWithoutDoubleInjection(t *testing.T) {
+	agents := mech.Truthful(ladder(8))
+	base := Config{Tree: Binary(8), Agents: agents, Rate: 8}
+
+	// A crash declared through both knobs is the same single crash.
+	alone := base
+	alone.Crashed = []int{7}
+	want, err := Run(alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := alone
+	both.Faults = faults.New(0, faults.Crash(7))
+	got, err := Run(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Errorf("crash declared twice diverged from once:\nboth: %+v\nonce: %+v", got, want)
+	}
+
+	// A cheater declared through both knobs is flagged exactly once,
+	// and the explicit plan's claim factor beats the legacy default.
+	cheat := base
+	cheat.CheatPayments = []int{5}
+	cheat.Faults = faults.New(0, faults.Byzantine(1.2, 5))
+	if f := cheat.FaultInjector().ClaimFactor(5); f != 1.2 {
+		t.Errorf("claim factor = %v, want the explicit plan's 1.2", f)
+	}
+	res, err := Run(cheat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flagged) != 1 || res.Flagged[0] != 5 {
+		t.Errorf("flagged = %v, want exactly [5]", res.Flagged)
+	}
+}
+
 func TestDuplicatedMessagesAreHarmless(t *testing.T) {
 	// Duplicate every message: the receivers are idempotent, so the
 	// outcome must be identical to the fault-free round.

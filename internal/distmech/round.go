@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mech"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// still pending then surfaces as ErrDeadlineExceeded. Zero means
 	// no deadline.
 	Deadline float64
+	// Obs receives round counters, fault-injection counts and trace
+	// events (see package obs). Nil disables all instrumentation at
+	// zero cost.
+	Obs *obs.Observer
 }
 
 // Result is the outcome of a distributed round.
@@ -136,7 +141,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.New()
-	tr := &faults.Transport{Eng: eng, Inj: inj, Hop: hop}
+	met := cfg.Obs.RoundMetrics()
+	tr := &faults.Transport{Eng: eng, Inj: inj, Hop: hop, Obs: cfg.Obs.FaultMetrics()}
 	children := cfg.Tree.Children()
 	// timeoutBudget[i] = 4 hops (request + reply round trip with
 	// slack) beyond the largest child budget.
@@ -222,6 +228,11 @@ func Run(cfg Config) (*Result, error) {
 			want, _ := selfPayment(i, S)
 			if math.Abs(want-claim) > 1e-9*(1+math.Abs(want)) {
 				flagged[i] = true
+				met.AuditFlagged(1)
+				cfg.Obs.Emit(obs.Event{
+					Time: eng.Now(), Layer: "distmech", Kind: "audit-flag",
+					Node: i, Value: claim - want,
+				})
 			}
 			claimsLeft[p]--
 			if claimsLeft[p] == 0 && ready[p] {
@@ -286,6 +297,10 @@ func Run(cfg Config) (*Result, error) {
 		value := partial[i]
 		if p == -1 {
 			S = value
+			cfg.Obs.Emit(obs.Event{
+				Time: eng.Now(), Layer: "distmech", Kind: "aggregate-complete",
+				Node: 0, Value: S,
+			})
 			disseminate(0, S)
 			return
 		}
@@ -332,9 +347,19 @@ func Run(cfg Config) (*Result, error) {
 			if reportedUp[i] || awaiting[i] == 0 {
 				return
 			}
+			met.TimeoutFired()
+			cfg.Obs.Emit(obs.Event{
+				Time: eng.Now(), Layer: "distmech", Kind: "timeout",
+				Node: i, Value: timeoutFor(i),
+			})
 			for pos, c := range children[i] {
 				if !childDone[i][pos] {
 					markMissing(c)
+					met.SubtreeCut(1)
+					cfg.Obs.Emit(obs.Event{
+						Time: eng.Now(), Layer: "distmech", Kind: "subtree-cut",
+						Node: c,
+					})
 				}
 			}
 			awaiting[i] = 0
@@ -353,6 +378,14 @@ func Run(cfg Config) (*Result, error) {
 	res.Lost = tr.Lost
 	res.Duplicated = tr.Duplicated
 	res.CompletionTime = eng.Now()
+	met.AddMessages(tr.Sent, tr.Lost, tr.Duplicated)
+	fail := func(outcome string) {
+		met.RoundDone(outcome, res.CompletionTime)
+		cfg.Obs.Emit(obs.Event{
+			Time: res.CompletionTime, Layer: "distmech", Kind: "round-failed",
+			Node: -1, Detail: outcome,
+		})
+	}
 
 	for i := range missing {
 		if missing[i] {
@@ -360,14 +393,17 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if n-len(res.Missing) < 2 {
+		fail("quorum-lost")
 		return nil, fmt.Errorf("%w (%d of %d)", ErrQuorumLost, n-len(res.Missing), n)
 	}
 
 	if S == 0 {
 		if cfg.Deadline > 0 && eng.Pending() > 0 {
+			fail("deadline")
 			return nil, fmt.Errorf("%w: aggregation still pending at t=%g",
 				ErrDeadlineExceeded, cfg.Deadline)
 		}
+		fail("partial-aggregate")
 		return nil, ErrAggregationIncomplete
 	}
 	// Nodes that contributed to S but never received it back have no
@@ -380,9 +416,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if unserved > 0 {
 		if cfg.Deadline > 0 && eng.Pending() > 0 {
+			fail("deadline")
 			return nil, fmt.Errorf("%w: dissemination still pending at t=%g",
 				ErrDeadlineExceeded, cfg.Deadline)
 		}
+		fail("partial-dissemination")
 		return nil, fmt.Errorf("%w (%d nodes)", ErrDisseminationIncomplete, unserved)
 	}
 	// Audit coverage: claims that never arrived (lost or still in
@@ -401,12 +439,23 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if inj.ClaimFactor(0) != 1 {
 		res.Flagged = append([]int{0}, res.Flagged...)
+		met.AuditFlagged(1)
+		cfg.Obs.Emit(obs.Event{
+			Time: res.CompletionTime, Layer: "distmech", Kind: "audit-flag", Node: 0,
+		})
 	}
 	res.S = S
 	// Safety: allocation conserves the rate.
 	if !feasible(res.Alloc, cfg.Rate) {
+		fail("conservation")
 		return nil, ErrConservation
 	}
+	met.ClaimsPending(res.ClaimsOutstanding)
+	met.RoundDone("ok", res.CompletionTime)
+	cfg.Obs.Emit(obs.Event{
+		Time: res.CompletionTime, Layer: "distmech", Kind: "round-ok",
+		Node: -1, Value: S,
+	})
 	return res, nil
 }
 

@@ -140,6 +140,22 @@ type Verdict struct {
 	// more than the chosen significance threshold — the computer
 	// executed slower than it promised.
 	Deviating bool
+	// Invalid is true when the verdict could not be computed: the
+	// estimate or declaration was NaN or infinite, or the standard
+	// error was NaN or negative. An invalid verdict is never Deviating
+	// (there is no evidence either way), but it must not be read as a
+	// pass — use Flagged to treat both cases as audit failures.
+	Invalid bool
+}
+
+// Flagged reports whether the verdict requires coordinator action:
+// either the agent deviated, or the verification itself was fed
+// invalid inputs and cannot vouch for the agent.
+func (v Verdict) Flagged() bool { return v.Deviating || v.Invalid }
+
+// isFinite reports whether f is neither NaN nor infinite.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }
 
 // Verify tests whether est is statistically above declared at the
@@ -160,6 +176,15 @@ func Verify(est Estimate, declared, zThreshold float64) Verdict {
 func VerifyWithMargin(est Estimate, declared, zThreshold, margin float64) Verdict {
 	v := Verdict{Estimated: est.Value, Declared: declared}
 	threshold := declared * (1 + margin)
+	// A NaN anywhere in the z-score makes every comparison below
+	// false, so without this guard a NaN estimate would silently pass
+	// verification. Surface it as an explicit invalid verdict instead.
+	if !isFinite(est.Value) || !isFinite(threshold) ||
+		math.IsNaN(est.StdErr) || est.StdErr < 0 {
+		v.Invalid = true
+		v.ZScore = math.NaN()
+		return v
+	}
 	if est.StdErr > 0 {
 		v.ZScore = (est.Value - threshold) / est.StdErr
 	} else if est.Value != threshold {

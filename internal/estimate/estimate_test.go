@@ -187,3 +187,53 @@ func TestVerifyZeroStdErr(t *testing.T) {
 		t.Errorf("faster-than-declared flagged as deviating: %+v", v)
 	}
 }
+
+// Regression: a NaN estimate produced a NaN z-score, every comparison
+// against the threshold came back false, and the agent silently passed
+// verification. Invalid inputs must yield an explicit invalid verdict
+// that Flagged treats as an audit failure, never as a pass.
+func TestVerifyInvalidInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		est      Estimate
+		declared float64
+	}{
+		{"nan value", Estimate{Value: math.NaN(), StdErr: 0.1}, 1},
+		{"inf value", Estimate{Value: math.Inf(1), StdErr: 0.1}, 1},
+		{"nan declared", Estimate{Value: 2, StdErr: 0.1}, math.NaN()},
+		{"inf declared", Estimate{Value: 2, StdErr: 0.1}, math.Inf(1)},
+		{"nan stderr", Estimate{Value: 2, StdErr: math.NaN()}, 1},
+		{"negative stderr", Estimate{Value: 2, StdErr: -0.1}, 1},
+	}
+	for _, tc := range cases {
+		v := Verify(tc.est, tc.declared, 3)
+		if !v.Invalid {
+			t.Errorf("%s: verdict not invalid: %+v", tc.name, v)
+		}
+		if v.Deviating {
+			t.Errorf("%s: invalid verdict must not claim deviation: %+v", tc.name, v)
+		}
+		if !math.IsNaN(v.ZScore) {
+			t.Errorf("%s: z-score = %v, want NaN", tc.name, v.ZScore)
+		}
+		if !v.Flagged() {
+			t.Errorf("%s: invalid verdict must be flagged", tc.name)
+		}
+	}
+}
+
+func TestVerdictFlagged(t *testing.T) {
+	if (Verdict{}).Flagged() {
+		t.Error("clean verdict flagged")
+	}
+	if !(Verdict{Deviating: true}).Flagged() {
+		t.Error("deviating verdict not flagged")
+	}
+	if !(Verdict{Invalid: true}).Flagged() {
+		t.Error("invalid verdict not flagged")
+	}
+	// Valid inputs still produce valid verdicts.
+	if v := Verify(Estimate{Value: 2, StdErr: 0.1}, 1, 3); v.Invalid || !v.Deviating {
+		t.Errorf("valid slow case: %+v", v)
+	}
+}

@@ -1,6 +1,9 @@
 package faults
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // Transport delivers messages over a discrete-event engine while
 // consulting an Injector about each message's fate. It is the
@@ -21,6 +24,8 @@ type Transport struct {
 	// DupLag is the extra delay of a duplicate copy beyond the first
 	// delivery (default Hop/2).
 	DupLag float64
+	// Obs counts injected faults by kind; nil disables (free).
+	Obs *obs.FaultMetrics
 
 	// Sent counts logical sends (one per Send call).
 	Sent int
@@ -54,15 +59,21 @@ func (t *Transport) Send(from, to int, kind string, deliver func()) {
 		t.sendsBy[from]++
 		if stall, every := inj.Stall(from); every > 0 && cnt%every == 0 {
 			delay += stall
+			t.Obs.Injected("stall")
 		}
+	}
+	if d.ExtraDelay > 0 {
+		t.Obs.Injected("delay")
 	}
 	if d.Drop {
 		t.Lost++
+		t.Obs.Injected("drop")
 		return
 	}
 	t.Eng.Schedule(delay, deliver)
 	t.Delivered++
 	if d.Duplicate {
+		t.Obs.Injected("duplicate")
 		lag := t.DupLag
 		if lag <= 0 {
 			lag = t.Hop / 2

@@ -122,7 +122,7 @@ func (LinearModel) OptimalTotal(values []float64, rate float64) (float64, error)
 			return 0, fmt.Errorf("mech: invalid value values[%d] = %g", i, v)
 		}
 	}
-	return alloc.OptimalLatencyLinear(values, rate), nil
+	return alloc.OptimalLatencyLinear(values, rate)
 }
 
 // Work implements OneParameterModel: w(x) = x^2.

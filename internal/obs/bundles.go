@@ -1,0 +1,328 @@
+package obs
+
+// This file defines the per-layer instrumentation bundles: one struct
+// of metrics per instrumented subsystem, registered under stable
+// Prometheus-style names, with nil-safe recording methods so a layer
+// holding a nil bundle pays only a branch per record call.
+
+// RoundMetrics instruments round execution — the distmech tree round
+// and the centralized protocol round share this vocabulary (messages,
+// timeouts, subtree cuts, audit verdicts, outcomes).
+type RoundMetrics struct {
+	// MessagesSent/Lost/Duplicated mirror the transport counters.
+	MessagesSent, MessagesLost, MessagesDuplicated *Counter
+	// Timeouts counts parent timeouts that fired and cut children off.
+	Timeouts *Counter
+	// SubtreesCut counts subtrees severed by timeouts or crashes.
+	SubtreesCut *Counter
+	// AuditFlags counts nodes flagged by the payment audit or the
+	// verification step.
+	AuditFlags *Counter
+	// InvalidVerdicts counts verification verdicts rejected as invalid
+	// (non-finite estimate or declaration).
+	InvalidVerdicts *Counter
+	// ClaimsOutstanding counts payment claims that never arrived.
+	ClaimsOutstanding *Counter
+	// Rounds counts finished rounds by outcome (ok, quorum-lost, ...).
+	Rounds *CounterVec
+	// Completion observes round completion times in simulated seconds.
+	Completion *Histogram
+}
+
+// NewRoundMetrics registers the round bundle on r (nil r — or nil
+// receiver use later — disables it).
+func NewRoundMetrics(r *Registry) *RoundMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RoundMetrics{
+		MessagesSent:       r.Counter("lb_round_messages_sent_total", "logical messages sent during rounds"),
+		MessagesLost:       r.Counter("lb_round_messages_lost_total", "messages dropped by the fault layer"),
+		MessagesDuplicated: r.Counter("lb_round_messages_duplicated_total", "messages delivered twice by the fault layer"),
+		Timeouts:           r.Counter("lb_round_timeouts_total", "parent timeouts fired waiting for child aggregates"),
+		SubtreesCut:        r.Counter("lb_round_subtrees_cut_total", "subtrees severed by timeouts or crashes"),
+		AuditFlags:         r.Counter("lb_round_audit_flags_total", "nodes flagged by the payment audit or verification"),
+		InvalidVerdicts:    r.Counter("lb_round_invalid_verdicts_total", "verification verdicts rejected as invalid"),
+		ClaimsOutstanding:  r.Counter("lb_round_claims_outstanding_total", "payment claims that never arrived"),
+		Rounds:             r.CounterVec("lb_rounds_total", "finished rounds by outcome", "outcome"),
+		Completion:         r.Histogram("lb_round_completion_seconds", "round completion time in simulated seconds", nil),
+	}
+}
+
+// AddMessages records one round's transport totals.
+func (m *RoundMetrics) AddMessages(sent, lost, duplicated int) {
+	if m == nil {
+		return
+	}
+	m.MessagesSent.Add(int64(sent))
+	m.MessagesLost.Add(int64(lost))
+	m.MessagesDuplicated.Add(int64(duplicated))
+}
+
+// TimeoutFired records one parent timeout expiry.
+func (m *RoundMetrics) TimeoutFired() {
+	if m == nil {
+		return
+	}
+	m.Timeouts.Inc()
+}
+
+// SubtreeCut records n subtrees severed from the round.
+func (m *RoundMetrics) SubtreeCut(n int) {
+	if m == nil {
+		return
+	}
+	m.SubtreesCut.Add(int64(n))
+}
+
+// AuditFlagged records n nodes flagged by the audit.
+func (m *RoundMetrics) AuditFlagged(n int) {
+	if m == nil {
+		return
+	}
+	m.AuditFlags.Add(int64(n))
+}
+
+// VerdictInvalid records one invalid verification verdict.
+func (m *RoundMetrics) VerdictInvalid() {
+	if m == nil {
+		return
+	}
+	m.InvalidVerdicts.Inc()
+}
+
+// ClaimsPending records n payment claims the audit never received.
+func (m *RoundMetrics) ClaimsPending(n int) {
+	if m == nil {
+		return
+	}
+	m.ClaimsOutstanding.Add(int64(n))
+}
+
+// RoundDone records a finished round: its outcome label and, when
+// completion >= 0, its simulated completion time.
+func (m *RoundMetrics) RoundDone(outcome string, completion float64) {
+	if m == nil {
+		return
+	}
+	m.Rounds.With(outcome).Inc()
+	if completion >= 0 {
+		m.Completion.Observe(completion)
+	}
+}
+
+// SuperviseMetrics instruments the supervisor's retry-classify-
+// exclude loop.
+type SuperviseMetrics struct {
+	// Attempts counts round attempts; Retries those that scheduled a
+	// further attempt.
+	Attempts, Retries *Counter
+	// Failures counts non-accepted attempts by failure class.
+	Failures *CounterVec
+	// Exclusions counts excluded nodes by reason (audit, unreachable,
+	// static, suspended, dropout).
+	Exclusions *CounterVec
+	// Backoff observes individual retry delays; BackoffTotal sums them.
+	Backoff      *Histogram
+	BackoffTotal *Gauge
+	// Accepted and Degraded count supervised rounds that completed,
+	// and the subset that served fewer agents than the population.
+	Accepted, Degraded *Counter
+}
+
+// NewSuperviseMetrics registers the supervisor bundle on r.
+func NewSuperviseMetrics(r *Registry) *SuperviseMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SuperviseMetrics{
+		Attempts:     r.Counter("lb_supervise_attempts_total", "supervised round attempts"),
+		Retries:      r.Counter("lb_supervise_retries_total", "attempts that scheduled a retry"),
+		Failures:     r.CounterVec("lb_supervise_failures_total", "failed attempts by class", "class"),
+		Exclusions:   r.CounterVec("lb_supervise_exclusions_total", "excluded nodes by reason", "reason"),
+		Backoff:      r.Histogram("lb_supervise_backoff_seconds", "retry backoff delays", nil),
+		BackoffTotal: r.Gauge("lb_supervise_backoff_seconds_total", "summed retry backoff"),
+		Accepted:     r.Counter("lb_supervise_accepted_total", "supervised rounds accepted"),
+		Degraded:     r.Counter("lb_supervise_degraded_total", "accepted rounds serving fewer agents than the population"),
+	}
+}
+
+// AttemptDone records one attempt and its failure class ("ok" for an
+// accepted attempt; anything else also counts into Failures).
+func (m *SuperviseMetrics) AttemptDone(class string) {
+	if m == nil {
+		return
+	}
+	m.Attempts.Inc()
+	if class != "ok" {
+		m.Failures.With(class).Inc()
+	}
+}
+
+// RetryScheduled records a scheduled retry and its backoff delay.
+func (m *SuperviseMetrics) RetryScheduled(delay float64) {
+	if m == nil {
+		return
+	}
+	m.Retries.Inc()
+	if delay > 0 {
+		m.Backoff.Observe(delay)
+		m.BackoffTotal.Add(delay)
+	}
+}
+
+// Excluded records n nodes excluded for the given reason.
+func (m *SuperviseMetrics) Excluded(reason string, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Exclusions.With(reason).Add(int64(n))
+}
+
+// AcceptedRound records an accepted supervised round.
+func (m *SuperviseMetrics) AcceptedRound(degraded bool) {
+	if m == nil {
+		return
+	}
+	m.Accepted.Inc()
+	if degraded {
+		m.Degraded.Inc()
+	}
+}
+
+// EngineMetrics instruments the mech payment engine's hot path. Its
+// record method is called per evaluation with zero allocations, so
+// the engine's AllocsPerRun guarantee holds with metrics on or off.
+type EngineMetrics struct {
+	// Runs counts engine evaluations; FastPath those served by the
+	// scratch-buffer runner, Fallback those by the mechanism's plain
+	// Run.
+	Runs, FastPath, Fallback *Counter
+	// Payments counts per-agent payments computed.
+	Payments *Counter
+}
+
+// NewEngineMetrics registers the engine bundle on r.
+func NewEngineMetrics(r *Registry) *EngineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &EngineMetrics{
+		Runs:     r.Counter("lb_mech_engine_runs_total", "payment engine evaluations"),
+		FastPath: r.Counter("lb_mech_engine_fastpath_total", "evaluations on the zero-allocation scratch path"),
+		Fallback: r.Counter("lb_mech_engine_fallback_total", "evaluations falling back to the mechanism's plain Run"),
+		Payments: r.Counter("lb_mech_payments_total", "per-agent payments computed"),
+	}
+}
+
+// RunDone records one successful engine evaluation over n agents.
+func (m *EngineMetrics) RunDone(fast bool, agents int) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	if fast {
+		m.FastPath.Inc()
+	} else {
+		m.Fallback.Inc()
+	}
+	m.Payments.Add(int64(agents))
+}
+
+// FaultMetrics instruments the fault-injection layer: every injected
+// fault, by kind, wherever a transport consults an injector.
+type FaultMetrics struct {
+	// Injections counts injected faults by kind (drop, duplicate,
+	// delay, stall).
+	Injections *CounterVec
+}
+
+// NewFaultMetrics registers the fault bundle on r.
+func NewFaultMetrics(r *Registry) *FaultMetrics {
+	if r == nil {
+		return nil
+	}
+	return &FaultMetrics{
+		Injections: r.CounterVec("lb_fault_injections_total", "injected faults by kind", "kind"),
+	}
+}
+
+// Injected records one injected fault of the given kind.
+func (m *FaultMetrics) Injected(kind string) {
+	if m == nil {
+		return
+	}
+	m.Injections.With(kind).Inc()
+}
+
+// Observer bundles a registry, a trace ring and every layer bundle,
+// so a CLI can enable full observability with one value and each
+// layer can pull its slice. A nil *Observer disables everything.
+type Observer struct {
+	// Registry collects the metrics below.
+	Registry *Registry
+	// Trace is the shared event ring.
+	Trace *Trace
+	// Round, Supervise, Engine and Faults are the layer bundles.
+	Round     *RoundMetrics
+	Supervise *SuperviseMetrics
+	Engine    *EngineMetrics
+	Faults    *FaultMetrics
+}
+
+// New returns an Observer with every bundle registered and a trace
+// ring of the given capacity (<= 0 uses DefaultTraceCap). All
+// counters exist — at zero — from the start, so exported snapshots
+// always contain the full schema.
+func New(traceCap int) *Observer {
+	r := NewRegistry()
+	return &Observer{
+		Registry:  r,
+		Trace:     NewTrace(traceCap),
+		Round:     NewRoundMetrics(r),
+		Supervise: NewSuperviseMetrics(r),
+		Engine:    NewEngineMetrics(r),
+		Faults:    NewFaultMetrics(r),
+	}
+}
+
+// RoundMetrics returns the round bundle (nil on a nil observer).
+func (o *Observer) RoundMetrics() *RoundMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Round
+}
+
+// SuperviseMetrics returns the supervisor bundle (nil on a nil
+// observer).
+func (o *Observer) SuperviseMetrics() *SuperviseMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Supervise
+}
+
+// EngineMetrics returns the engine bundle (nil on a nil observer).
+func (o *Observer) EngineMetrics() *EngineMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Engine
+}
+
+// FaultMetrics returns the fault bundle (nil on a nil observer).
+func (o *Observer) FaultMetrics() *FaultMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Faults
+}
+
+// Emit forwards an event to the trace ring (no-op on a nil observer).
+func (o *Observer) Emit(e Event) {
+	if o == nil {
+		return
+	}
+	o.Trace.Emit(e)
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Dump writes the post-run snapshot the CLIs print: the metrics
+// registry as indented JSON followed by the Prometheus text exposition
+// when metrics is true, and the event trace as text when trace is
+// true. A nil observer writes nothing. Both exports are deterministic
+// for a fixed run (registration-ordered metrics, no timestamps), so
+// dumps diff cleanly between runs.
+func (o *Observer) Dump(w io.Writer, metrics, trace bool) error {
+	if o == nil {
+		return nil
+	}
+	if metrics {
+		if err := o.Registry.WriteJSON(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := o.Registry.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	if trace {
+		if metrics {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := o.Trace.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

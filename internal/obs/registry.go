@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics and exports them in deterministic
+// order: metrics in registration order, vector children sorted by
+// label value. A nil *Registry hands out nil metrics, so a caller can
+// build an entire instrumentation bundle against a disabled registry
+// and every record call becomes a no-op.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// entry is one registered metric of any kind.
+type entry struct {
+	name, help, kind string
+	counter          *Counter
+	gauge            *Gauge
+	hist             *Histogram
+	vec              *CounterVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*entry{}}
+}
+
+// lookup returns the entry for name, creating it with mk when absent.
+// Re-registering a name returns the existing entry (names are unique;
+// the first registration's kind wins).
+func (r *Registry) lookup(name, help, kind string, mk func() *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		return e
+	}
+	e := mk()
+	e.name, e.help, e.kind = name, help, kind
+	r.entries = append(r.entries, e)
+	r.byName[name] = e
+	return e
+}
+
+// Counter registers (or fetches) a counter. Nil registries return nil.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, help, "counter", func() *entry {
+		return &entry{counter: &Counter{name: name, help: help}}
+	})
+	return e.counter
+}
+
+// Gauge registers (or fetches) a gauge. Nil registries return nil.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, help, "gauge", func() *entry {
+		return &entry{gauge: &Gauge{name: name, help: help}}
+	})
+	return e.gauge
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// upper bounds (nil = DefaultBuckets). Nil registries return nil.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, help, "histogram", func() *entry {
+		if bounds == nil {
+			bounds = DefaultBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		return &entry{hist: &Histogram{
+			name: name, help: help,
+			bounds: b,
+			counts: make([]int64, len(b)+1),
+		}}
+	})
+	return e.hist
+}
+
+// CounterVec registers (or fetches) a counter family split by one
+// label. Nil registries return nil.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, help, "countervec", func() *entry {
+		return &entry{vec: &CounterVec{
+			name: name, help: help, label: label,
+			children: map[string]*Counter{},
+		}}
+	})
+	return e.vec
+}
+
+// MetricSnapshot is one exported metric sample.
+type MetricSnapshot struct {
+	// Name is the metric name; Kind one of counter, gauge, histogram.
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Help is the registration help string.
+	Help string `json:"help,omitempty"`
+	// Labels holds the label pair of vector children.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value (histograms use Count/Sum).
+	Value float64 `json:"value"`
+	// Count, Sum and Buckets are histogram-only.
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	// LE is the bucket's inclusive upper bound; +Inf is rendered as
+	// the string "+Inf" in JSON via MarshalJSON below.
+	LE float64 `json:"le"`
+	// Count is the cumulative count of samples <= LE.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders +Inf bounds as the string "+Inf" (JSON has no
+// infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := any(b.LE)
+	if math.IsInf(b.LE, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(struct {
+		LE    any   `json:"le"`
+		Count int64 `json:"count"`
+	}{le, b.Count})
+}
+
+// Snapshot returns every registered metric in deterministic order.
+// Nil registries return nil.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	var out []MetricSnapshot
+	for _, e := range entries {
+		switch e.kind {
+		case "counter":
+			out = append(out, MetricSnapshot{
+				Name: e.name, Kind: "counter", Help: e.help,
+				Value: float64(e.counter.Value()),
+			})
+		case "gauge":
+			out = append(out, MetricSnapshot{
+				Name: e.name, Kind: "gauge", Help: e.help,
+				Value: e.gauge.Value(),
+			})
+		case "histogram":
+			bounds, counts, count, sum := e.hist.snapshot()
+			var cum int64
+			buckets := make([]BucketSnapshot, 0, len(counts))
+			for i, c := range counts {
+				cum += c
+				le := math.Inf(1)
+				if i < len(bounds) {
+					le = bounds[i]
+				}
+				buckets = append(buckets, BucketSnapshot{LE: le, Count: cum})
+			}
+			out = append(out, MetricSnapshot{
+				Name: e.name, Kind: "histogram", Help: e.help,
+				Count: count, Sum: sum, Buckets: buckets,
+			})
+		case "countervec":
+			e.vec.mu.Lock()
+			if len(e.vec.children) == 0 {
+				// Keep the metric visible in exports before any label
+				// value exists, so snapshots always carry the schema.
+				out = append(out, MetricSnapshot{
+					Name: e.name, Kind: "counter", Help: e.help,
+				})
+				e.vec.mu.Unlock()
+				continue
+			}
+			values := make([]string, 0, len(e.vec.children))
+			for v := range e.vec.children {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				out = append(out, MetricSnapshot{
+					Name: e.name, Kind: "counter", Help: e.help,
+					Labels: map[string]string{e.vec.label: v},
+					Value:  float64(e.vec.children[v].Value()),
+				})
+			}
+			e.vec.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// jsonDocument is the WriteJSON envelope.
+type jsonDocument struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// WriteJSON writes the snapshot as indented JSON, deterministic for a
+// given metric state (no timestamps, stable ordering) so snapshots
+// can be committed and diffed like BENCH_mech.json.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonDocument{Metrics: r.Snapshot()})
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format (# HELP / # TYPE headers, histogram _bucket/_sum/
+// _count expansion).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshot()
+	lastHeader := ""
+	for _, s := range snaps {
+		if s.Name != lastHeader {
+			lastHeader = s.Name
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		switch s.Kind {
+		case "histogram":
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.LE, 1) {
+					le = formatFloat(b.LE)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				s.Name, formatFloat(s.Sum), s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			name := s.Name
+			if len(s.Labels) > 0 {
+				var pairs []string
+				for k, v := range s.Labels {
+					pairs = append(pairs, fmt.Sprintf("%s=%q", k, v))
+				}
+				sort.Strings(pairs)
+				name = fmt.Sprintf("%s{%s}", s.Name, strings.Join(pairs, ","))
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders floats the way Prometheus expects: integers
+// without a decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace record: something a layer did at a
+// simulated time, tied to a node when one is involved.
+type Event struct {
+	// Seq is the emission order, assigned by the trace ring.
+	Seq int `json:"seq"`
+	// Time is the simulated time of the event in seconds (0 when the
+	// emitting layer has no clock, e.g. between attempts).
+	Time float64 `json:"t"`
+	// Layer names the emitting layer: distmech, supervise, protocol,
+	// rounds.
+	Layer string `json:"layer"`
+	// Kind is the event type within the layer (timeout, audit-flag,
+	// retry, ...).
+	Kind string `json:"kind"`
+	// Node is the involved node index, -1 when not node-specific.
+	Node int `json:"node"`
+	// Detail is a short human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+	// Value carries the event's number when it has one (a delay, an
+	// aggregate, a count).
+	Value float64 `json:"value,omitempty"`
+}
+
+// Trace is a bounded ring of Events: the last Cap emissions survive,
+// older ones are dropped (and counted). A nil *Trace discards all
+// emissions, so instrumented code needs no enabled-check.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // events currently buffered
+	seq     int
+	dropped int
+}
+
+// DefaultTraceCap is the ring capacity used when NewTrace is given a
+// non-positive one.
+const DefaultTraceCap = 4096
+
+// NewTrace returns a trace ring keeping the last capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Emit appends one event, assigning its Seq. The oldest event is
+// dropped when the ring is full.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	if t.n == len(t.buf) {
+		t.buf[t.start] = e
+		t.start = (t.start + 1) % len(t.buf)
+		t.dropped++
+	} else {
+		t.buf[(t.start+t.n)%len(t.buf)] = e
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Dropped reports how many events were evicted by ring overflow.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSON writes the buffered events as an indented JSON document
+// {"dropped": n, "events": [...]}.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Dropped int     `json:"dropped"`
+		Events  []Event `json:"events"`
+	}{t.Dropped(), t.Events()}
+	if doc.Events == nil {
+		doc.Events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText writes the buffered events as a line-oriented trace,
+// deterministic for a given event sequence.
+func (t *Trace) WriteText(w io.Writer) error {
+	for _, e := range t.Events() {
+		node := "-"
+		if e.Node >= 0 {
+			node = fmt.Sprintf("%d", e.Node)
+		}
+		line := fmt.Sprintf("%6d t=%-10.6g %-10s %-22s node=%-4s", e.Seq, e.Time, e.Layer, e.Kind, node)
+		if e.Value != 0 {
+			line += fmt.Sprintf(" value=%g", e.Value)
+		}
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d earlier events dropped by the ring)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

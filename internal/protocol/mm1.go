@@ -45,7 +45,8 @@ func RunMM1(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("protocol: %d strategies for %d agents", len(strategies), n)
 	}
 
-	net := &Network{Record: cfg.RecordMessages}
+	met := cfg.Obs.RoundMetrics()
+	net := &Network{Record: cfg.RecordMessages, Obs: cfg.Obs.FaultMetrics()}
 	rng := numeric.NewRand(cfg.Seed)
 	names := make([]string, n)
 	agents := make([]mech.Agent, n)
@@ -114,6 +115,11 @@ func RunMM1(cfg Config) (*Result, error) {
 			estimates[i] = est
 		}
 		verdicts[i] = estimate.VerifyWithMargin(estimates[i], agents[i].Bid, zth, 0.05)
+		if verdicts[i].Invalid {
+			met.VerdictInvalid()
+		} else if verdicts[i].Deviating {
+			met.AuditFlagged(1)
+		}
 		estimated[i].Exec = estimates[i].Value
 	}
 
@@ -129,6 +135,8 @@ func RunMM1(cfg Config) (*Result, error) {
 	for i := range agents {
 		net.Send(Message{From: coordinator, To: names[i], Kind: MsgPayment, Value: outcome.Payment[i]})
 	}
+	met.AddMessages(net.Count, net.Lost, 0)
+	met.RoundDone("ok", simRes.Duration)
 	return &Result{
 		Outcome:   outcome,
 		Oracle:    oracle,

@@ -28,6 +28,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mech"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -91,6 +92,8 @@ type Network struct {
 	Record bool
 	// Faults filters deliveries (nil = reliable network).
 	Faults faults.Injector
+	// Obs counts injected faults by kind; nil disables (free).
+	Obs *obs.FaultMetrics
 
 	seq int
 }
@@ -129,10 +132,12 @@ func (n *Network) Send(m Message) bool {
 	})
 	if d.Drop {
 		n.Lost++
+		n.Obs.Injected("drop")
 		return false
 	}
 	if d.Duplicate {
 		n.Count++ // the duplicate copy also crosses the wire
+		n.Obs.Injected("duplicate")
 	}
 	return true
 }
@@ -238,6 +243,9 @@ type Config struct {
 	// StallEvery knobs are folded into this injector, which is the one
 	// source of truth during the round.
 	Faults faults.Injector
+	// Obs receives metrics and trace events from the round; nil
+	// disables instrumentation at no cost.
+	Obs *obs.Observer
 }
 
 // Result is the outcome of a protocol round.
@@ -317,7 +325,9 @@ func Run(cfg Config) (*Result, error) {
 		inj = faults.Merge(cfg.Faults, faults.New(0, legacy...))
 	}
 
-	net := &Network{Record: cfg.RecordMessages, Faults: inj}
+	met := cfg.Obs.RoundMetrics()
+	fm := cfg.Obs.FaultMetrics()
+	net := &Network{Record: cfg.RecordMessages, Faults: inj, Obs: fm}
 	rng := numeric.NewRand(cfg.Seed)
 	var names []string
 	var agents []mech.Agent
@@ -404,20 +414,21 @@ func Run(cfg Config) (*Result, error) {
 		// coordinator is itself the dispatcher, so x_i is known
 		// exactly, and using the (noisy) observed arrival rate would
 		// understate the estimator's uncertainty.
-		obs := simRes.PerNode[i].Latencies
+		samples := simRes.PerNode[i].Latencies
 		if !reported {
 			// The completion report was lost: the coordinator cannot
 			// match its observations to the agent's accounting, so it
 			// falls back to trusting the bid, unaudited.
-			obs = nil
+			samples = nil
 		}
 		if stall, k := inj.Stall(active[i]); k > 0 {
-			obs = append([]float64(nil), obs...)
-			for j := 0; j < len(obs); j += k {
-				obs[j] = stall
+			samples = append([]float64(nil), samples...)
+			for j := 0; j < len(samples); j += k {
+				samples[j] = stall
+				fm.Injected("stall")
 			}
 		}
-		if len(obs) == 0 || x[i] <= 0 {
+		if len(samples) == 0 || x[i] <= 0 {
 			// No jobs observed (possible only under extreme
 			// allocations): fall back to trusting the bid.
 			estimates[i] = estimate.Estimate{Value: agents[i].Bid, N: 0}
@@ -426,13 +437,26 @@ func Run(cfg Config) (*Result, error) {
 			if cfg.RobustEstimator {
 				estFn = estimate.FromFlowDelaysRobust
 			}
-			est, err := estFn(obs, x[i])
+			est, err := estFn(samples, x[i])
 			if err != nil {
 				return nil, fmt.Errorf("protocol: estimating agent %s: %w", names[i], err)
 			}
 			estimates[i] = est
 		}
 		verdicts[i] = estimate.VerifyWithMargin(estimates[i], agents[i].Bid, zth, margin)
+		if verdicts[i].Invalid {
+			met.VerdictInvalid()
+			cfg.Obs.Emit(obs.Event{
+				Layer: "protocol", Kind: "verdict-invalid", Node: active[i],
+				Detail: names[i], Value: estimates[i].Value,
+			})
+		} else if verdicts[i].Deviating {
+			met.AuditFlagged(1)
+			cfg.Obs.Emit(obs.Event{
+				Layer: "protocol", Kind: "audit-flag", Node: active[i],
+				Detail: names[i], Value: verdicts[i].ZScore,
+			})
+		}
 		estimated[i].Exec = estimates[i].Value
 	}
 
@@ -450,6 +474,14 @@ func Run(cfg Config) (*Result, error) {
 	for i := range agents {
 		net.Send(Message{From: coordinator, To: names[i], Kind: MsgPayment, Value: outcome.Payment[i]})
 	}
+
+	met.AddMessages(net.Count, net.Lost, 0)
+	met.RoundDone("ok", simRes.Duration)
+	cfg.Obs.Emit(obs.Event{
+		Layer: "protocol", Kind: "round-ok",
+		Detail: fmt.Sprintf("agents=%d dropped=%d messages=%d", n, len(dropped), net.Count),
+		Value:  simRes.Duration,
+	})
 
 	return &Result{
 		Outcome:   outcome,

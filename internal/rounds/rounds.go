@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -89,6 +90,9 @@ type Config struct {
 	// responsive agents instead of failing it. 0 means fail fast
 	// (legacy behaviour).
 	MaxRetries int
+	// Obs receives metrics and trace events from every round and from
+	// the retry loop; nil disables instrumentation at no cost.
+	Obs *obs.Observer
 }
 
 // Record summarizes one round.
@@ -154,6 +158,7 @@ func Run(cfg Config) (*Result, error) {
 		jobs = 5000
 	}
 
+	met := cfg.Obs.SuperviseMetrics()
 	res := &Result{
 		Strikes:     make([]int, n),
 		Suspensions: make([]int, n),
@@ -191,6 +196,7 @@ func Run(cfg Config) (*Result, error) {
 		if len(rec.Active) < 2 {
 			return nil, fmt.Errorf("rounds: round %d has only %d active computers", round, len(rec.Active))
 		}
+		met.Excluded("suspended", len(rec.Suspended))
 		base := protocol.Config{
 			Trues:      trues,
 			Strategies: strategies,
@@ -198,6 +204,7 @@ func Run(cfg Config) (*Result, error) {
 			Jobs:       jobs,
 			Seed:       cfg.Seed + uint64(round)*0x9e3779b9,
 			ZThreshold: pol.ZThreshold,
+			Obs:        cfg.Obs,
 		}
 		var pres *protocol.Result
 		var err error
@@ -220,13 +227,21 @@ func Run(cfg Config) (*Result, error) {
 			pres, err = protocol.Run(pcfg)
 			rec.Attempts = attempt + 1
 			if err == nil {
+				met.AttemptDone("ok")
 				break
 			}
+			met.AttemptDone("protocol-error")
+			cfg.Obs.Emit(obs.Event{
+				Layer: "rounds", Kind: "attempt-failed", Node: round,
+				Detail: fmt.Sprintf("#%d: %v", attempt+1, err),
+			})
 			if attempt >= cfg.MaxRetries {
 				return nil, fmt.Errorf("rounds: round %d: %w", round, err)
 			}
+			met.RetryScheduled(0)
 		}
 		rec.LostMessages = pres.Lost
+		met.AcceptedRound(len(pres.Active) != len(rec.Active))
 		activeTrues := trues
 		if len(pres.Active) != len(rec.Active) {
 			// Some computers dropped out: record them and compare the
@@ -243,6 +258,7 @@ func Run(cfg Config) (*Result, error) {
 					rec.Dropouts = append(rec.Dropouts, rec.Active[j])
 				}
 			}
+			met.Excluded("dropout", len(rec.Dropouts))
 		}
 		rec.Latency = pres.Oracle.RealLatency
 		rec.TotalPayment = pres.Outcome.TotalPayment()
@@ -253,7 +269,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 		rec.OptLatency = opt
 		for pos, v := range pres.Verdicts {
-			if !v.Deviating {
+			// Flagged covers both deviation and invalid verdicts: a
+			// measurement the coordinator cannot verify counts as a
+			// strike, not as a pass.
+			if !v.Flagged() {
 				continue
 			}
 			// pres positions index the responsive subset; pres.Active
@@ -271,6 +290,10 @@ func Run(cfg Config) (*Result, error) {
 				bannedUntil[idx] = round + 1 + pol.BanRounds
 				res.Suspensions[idx]++
 				res.Strikes[idx] = 0
+				cfg.Obs.Emit(obs.Event{
+					Layer: "rounds", Kind: "suspend", Node: idx,
+					Detail: fmt.Sprintf("round %d, %d rounds", round, pol.BanRounds),
+				})
 			}
 		}
 		res.Records = append(res.Records, rec)

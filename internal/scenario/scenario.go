@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -50,6 +51,10 @@ type Scenario struct {
 	// Faults overrides FaultSpec with an already-composed injector
 	// (set programmatically, e.g. by the -faults CLI flag).
 	Faults faults.Injector `json:"-"`
+
+	// Obs receives metrics and trace events from the round (set
+	// programmatically, e.g. by the -metrics CLI flag).
+	Obs *obs.Observer `json:"-"`
 }
 
 // Load parses and validates a scenario from JSON.
@@ -141,6 +146,7 @@ func (s *Scenario) Run() (*protocol.Result, error) {
 		Seed:          s.Seed,
 		Faults:        inj,
 		AllowDropouts: s.AllowDropouts,
+		Obs:           s.Obs,
 	}
 	if s.Model == "mm1" {
 		return protocol.RunMM1(cfg)

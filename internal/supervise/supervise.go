@@ -23,6 +23,7 @@ import (
 	"repro/internal/distmech"
 	"repro/internal/faults"
 	"repro/internal/mech"
+	"repro/internal/obs"
 )
 
 // FailureClass classifies one attempt's outcome.
@@ -224,6 +225,10 @@ type Options struct {
 	// schedule-dependent, so one miss is weak evidence; an audit flag
 	// by contrast is definitive and excludes immediately.
 	UnreachableStrikes int
+	// Obs receives supervisor metrics and trace events and is threaded
+	// into every attempt's round (see package obs). Nil disables all
+	// instrumentation.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -413,6 +418,7 @@ func (e *AbortError) Unwrap() error { return e.Err }
 func Run(cfg distmech.Config, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	n := cfg.Tree.N()
+	met := opts.Obs.SuperviseMetrics()
 	report := &Report{N: n, Rate: cfg.Rate}
 	if err := cfg.Validate(); err != nil {
 		return report, &AbortError{Class: ClassConfig, Err: err}
@@ -424,6 +430,7 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 	base.CheatPayments = nil
 	base.Faults = nil
 	base.Deadline = opts.Deadline
+	base.Obs = opts.Obs
 
 	// Static pre-exclusion: nodes the fault plan marks fail-stop or
 	// silent can never respond. Excluding them up front reparents
@@ -443,6 +450,14 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 		default:
 			alive = append(alive, i)
 		}
+	}
+	met.Excluded("static", len(report.StaticExcluded))
+	if len(report.StaticExcluded) > 0 {
+		opts.Obs.Emit(obs.Event{
+			Layer: "supervise", Kind: "static-exclude", Node: -1,
+			Detail: fmt.Sprintf("%v", report.StaticExcluded),
+			Value:  float64(len(report.StaticExcluded)),
+		})
 	}
 
 	missStrikes := map[int]int{}
@@ -468,6 +483,12 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 			rec.Lost = res.Lost
 			rec.Completion = res.CompletionTime
 		}
+		met.AttemptDone(v.Class.String())
+		opts.Obs.Emit(obs.Event{
+			Time: rec.Completion, Layer: "supervise", Kind: "attempt",
+			Node: -1, Detail: fmt.Sprintf("#%d class=%s alive=%d", rec.Index, v.Class, rec.Alive),
+			Value: float64(rec.Index),
+		})
 
 		if v.Accept {
 			report.Attempts = append(report.Attempts, rec)
@@ -482,6 +503,12 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 				report.Utilities[orig] = res.Utilities[local]
 			}
 			report.Degraded = len(alive) < n
+			met.AcceptedRound(report.Degraded)
+			opts.Obs.Emit(obs.Event{
+				Time: rec.Completion, Layer: "supervise", Kind: "accepted",
+				Node: -1, Detail: fmt.Sprintf("serving %d/%d", len(alive), n),
+				Value: float64(len(alive)),
+			})
 			return report, nil
 		}
 		if !v.Retry {
@@ -490,6 +517,10 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 			if cause == nil {
 				cause = errors.New(v.Detail)
 			}
+			opts.Obs.Emit(obs.Event{
+				Time: rec.Completion, Layer: "supervise", Kind: "aborted",
+				Node: -1, Detail: v.Class.String(),
+			})
 			return report, &AbortError{Class: v.Class, Err: cause}
 		}
 
@@ -517,7 +548,23 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 		}
 		if containsZero(rec.ExcludedAudit) {
 			report.Attempts = append(report.Attempts, rec)
+			opts.Obs.Emit(obs.Event{
+				Time: rec.Completion, Layer: "supervise", Kind: "aborted",
+				Node: 0, Detail: "coordinator flagged by the audit",
+			})
 			return report, &AbortError{Class: ClassAudit, Err: ErrCoordinatorMisbehaving}
+		}
+		met.Excluded("audit", len(rec.ExcludedAudit))
+		met.Excluded("unreachable", len(rec.ExcludedUnreachable))
+		for _, id := range rec.ExcludedAudit {
+			opts.Obs.Emit(obs.Event{
+				Time: rec.Completion, Layer: "supervise", Kind: "exclude-audit", Node: id,
+			})
+		}
+		for _, id := range rec.ExcludedUnreachable {
+			opts.Obs.Emit(obs.Event{
+				Time: rec.Completion, Layer: "supervise", Kind: "exclude-unreachable", Node: id,
+			})
 		}
 		report.ExcludedAudit = append(report.ExcludedAudit, rec.ExcludedAudit...)
 		report.ExcludedUnreachable = append(report.ExcludedUnreachable, rec.ExcludedUnreachable...)
@@ -526,6 +573,11 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 		if attempt+1 < opts.MaxAttempts {
 			rec.Backoff = opts.Backoff.Delay(attempt)
 			report.TotalBackoff += rec.Backoff
+			met.RetryScheduled(rec.Backoff)
+			opts.Obs.Emit(obs.Event{
+				Time: rec.Completion, Layer: "supervise", Kind: "backoff",
+				Node: -1, Value: rec.Backoff,
+			})
 		}
 		report.Attempts = append(report.Attempts, rec)
 
