@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check fuzz difftest bench
+.PHONY: build test vet lint race check fuzz difftest bench bench-rounds
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,14 @@ bench:
 	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_mech.json
 	@rm -f .bench_raw.txt
 	@cat BENCH_mech.json
+
+# Record the round-engine throughput baseline (fresh engines vs pooled
+# scratch, serial vs parallel) as stable JSON. Commit BENCH_rounds.json
+# to track regressions; note the committed file also carries a
+# RoundsBaseline entry measured on the pre-engine code, which a
+# regeneration drops.
+bench-rounds:
+	$(GO) test -run '^$$' -bench 'BenchmarkRounds' -benchmem -benchtime 5x ./internal/rounds > .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_rounds.json
+	@rm -f .bench_raw.txt
+	@cat BENCH_rounds.json

@@ -7,6 +7,14 @@
 //
 //	lbrounds -rounds 20 -exec-factor 2 -strikes 2 -ban 3
 //	lbrounds -rounds 20 -faults drop=0.05,crash=7 -retries 2
+//	lbrounds -rounds 200 -jobs 2000 -replications 32 -workers 0
+//
+// With -replications N > 1 the simulation becomes a Monte Carlo
+// sweep: N independent replications with derived seeds fan out over
+// -workers goroutines (0 = all CPUs), each worker reusing a pooled
+// round engine, and the per-round table is replaced by a
+// per-replication summary. Results are deterministic: any worker
+// count produces identical numbers.
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 	retries := flag.Int("retries", 0, "per-round retries before degrading to the responsive computers")
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON then Prometheus text) after the run")
 	trace := flag.Bool("trace", false, "print the event trace after the run")
+	replications := flag.Int("replications", 1, "independent replications with derived seeds (> 1 enables the sweep)")
+	workers := flag.Int("workers", 0, "fan-out width for -replications (0 = all CPUs)")
 	flag.Parse()
 
 	var inj faults.Injector
@@ -55,10 +65,14 @@ func main() {
 
 	var ob *obs.Observer
 	if *metrics || *trace {
-		ob = obs.New(0)
+		if *replications > 1 {
+			fmt.Fprintln(os.Stderr, "lbrounds: -metrics/-trace are ignored with -replications > 1 (the observer is not shared across workers)")
+		} else {
+			ob = obs.New(0)
+		}
 	}
 
-	res, err := rounds.Run(rounds.Config{
+	cfg := rounds.Config{
 		Computers:    pop,
 		Rate:         experiments.PaperRate,
 		Rounds:       *nRounds,
@@ -68,7 +82,13 @@ func main() {
 		Faults:       inj,
 		MaxRetries:   *retries,
 		Obs:          ob,
-	})
+	}
+	if *replications > 1 {
+		runSweep(cfg, *replications, *workers)
+		return
+	}
+
+	res, err := rounds.Run(cfg)
 	if err != nil {
 		// Flush whatever was recorded up to the failure first.
 		ob.Dump(os.Stdout, *metrics, *trace)
@@ -102,6 +122,79 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSweep fans count replications over the parallel harness and
+// prints a per-replication summary plus aggregates.
+func runSweep(cfg rounds.Config, count, workers int) {
+	results, err := rounds.RunReplications(rounds.Replications{
+		Base:    cfg,
+		Count:   count,
+		Workers: workers,
+		// The fault plan carries its own seed independent of cfg.Seed;
+		// reseed it per replication so the sweep samples different
+		// fault realizations, not just different estimation noise.
+		Vary: func(rep int, c *rounds.Config) {
+			c.Faults = faults.Reseed(c.Faults, uint64(rep)*0xbf58476d1ce4e5b9)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbrounds:", err)
+		os.Exit(1)
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Monte Carlo sweep: %d replications x %d rounds (seeds derived from %d).",
+			count, cfg.Rounds, cfg.Seed),
+		"Replication", "Mean latency", "Mean optimum", "Regret %", "Mean payment", "Flags", "Suspensions", "Dropout rounds")
+	var meanLat, meanOpt, meanRegret, meanPay float64
+	var totalFlags, totalSusp int
+	for rep, res := range results {
+		var lat, opt, pay float64
+		var flags, droprounds int
+		for _, rec := range res.Records {
+			lat += rec.Latency
+			opt += rec.OptLatency
+			pay += rec.TotalPayment
+			flags += len(rec.Flagged)
+			if len(rec.Dropouts) > 0 {
+				droprounds++
+			}
+		}
+		lat /= float64(len(res.Records))
+		opt /= float64(len(res.Records))
+		pay /= float64(len(res.Records))
+		susp := 0
+		for _, s := range res.Suspensions {
+			susp += s
+		}
+		regret := 100 * (lat - opt) / opt
+		tab.AddRow(
+			fmt.Sprintf("%d", rep),
+			report.FormatFloat(lat),
+			report.FormatFloat(opt),
+			fmt.Sprintf("%.2f", regret),
+			report.FormatFloat(pay),
+			fmt.Sprintf("%d", flags),
+			fmt.Sprintf("%d", susp),
+			fmt.Sprintf("%d", droprounds),
+		)
+		meanLat += lat
+		meanOpt += opt
+		meanRegret += regret
+		meanPay += pay
+		totalFlags += flags
+		totalSusp += susp
+	}
+	n := float64(len(results))
+	tab.AddRow("mean",
+		report.FormatFloat(meanLat/n),
+		report.FormatFloat(meanOpt/n),
+		fmt.Sprintf("%.2f", meanRegret/n),
+		report.FormatFloat(meanPay/n),
+		fmt.Sprintf("%.1f", float64(totalFlags)/n),
+		fmt.Sprintf("%.1f", float64(totalSusp)/n),
+		"")
+	tab.Render(os.Stdout)
 }
 
 func joinInts(xs []int) string {

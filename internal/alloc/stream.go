@@ -32,19 +32,40 @@ type Stream struct {
 const rebuildEvery = 4096
 
 // NewStream creates an empty online allocator for the given total
-// arrival rate.
+// arrival rate. A non-finite or negative rate is a *ValueError, the
+// same contract as Proportional.
 func NewStream(rate float64) (*Stream, error) {
-	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
-		return nil, fmt.Errorf("alloc: invalid rate %g", rate)
+	if err := checkRate(rate); err != nil {
+		return nil, err
 	}
 	return &Stream{rate: rate, values: make(map[int]float64)}, nil
 }
 
+// Reset empties the stream in place and sets a new rate, keeping the
+// map's storage so a long-lived engine can reuse one Stream across
+// rounds without reallocating. Ids restart from zero.
+func (st *Stream) Reset(rate float64) error {
+	if err := checkRate(rate); err != nil {
+		return err
+	}
+	if st.values == nil {
+		st.values = make(map[int]float64)
+	} else {
+		clear(st.values)
+	}
+	st.rate = rate
+	st.s = 0
+	st.mutates = 0
+	st.nextID = 0
+	return nil
+}
+
 // Add registers a computer with latency parameter t and returns its
-// id.
+// id. A non-positive or non-finite t is a *ValueError, the same
+// contract as Proportional.
 func (st *Stream) Add(t float64) (int, error) {
 	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-		return 0, fmt.Errorf("alloc: invalid latency parameter %g", t)
+		return 0, &ValueError{Field: "t", Value: t}
 	}
 	id := st.nextID
 	st.nextID++
@@ -66,14 +87,15 @@ func (st *Stream) Remove(id int) error {
 	return nil
 }
 
-// Update changes a computer's latency parameter.
+// Update changes a computer's latency parameter. A non-positive or
+// non-finite t is a *ValueError, the same contract as Proportional.
 func (st *Stream) Update(id int, t float64) error {
 	old, ok := st.values[id]
 	if !ok {
 		return fmt.Errorf("alloc: unknown computer id %d", id)
 	}
 	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-		return fmt.Errorf("alloc: invalid latency parameter %g", t)
+		return &ValueError{Field: "t", Value: t}
 	}
 	st.values[id] = t
 	st.s += 1/t - 1/old
@@ -81,10 +103,11 @@ func (st *Stream) Update(id int, t float64) error {
 	return nil
 }
 
-// SetRate changes the total arrival rate.
+// SetRate changes the total arrival rate. A non-finite or negative
+// rate is a *ValueError, the same contract as Proportional.
 func (st *Stream) SetRate(rate float64) error {
-	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
-		return fmt.Errorf("alloc: invalid rate %g", rate)
+	if err := checkRate(rate); err != nil {
+		return err
 	}
 	st.rate = rate
 	return nil

@@ -68,7 +68,7 @@ func (n *QueueNode) Submit(eng *sim.Engine, job workload.Job, done func(float64)
 	n.availAt = start + svc
 	n.busyTime += svc
 	finish := n.availAt
-	eng.At(finish, func() { done(finish - job.Arrival) })
+	eng.AtCall(finish, done, finish-job.Arrival)
 }
 
 // BusyTime returns the total service time accumulated so far.
@@ -97,7 +97,7 @@ func (n *FlowNode) Name() string { return n.ID }
 func (n *FlowNode) Submit(eng *sim.Engine, job workload.Job, done func(float64)) {
 	mean := n.T * n.Rate
 	delay := job.Size * mean * n.RNG.ExpFloat64()
-	eng.Schedule(delay, func() { done(delay) })
+	eng.ScheduleCall(delay, done, delay)
 }
 
 // NodeStats aggregates per-node measurements from a run.
@@ -163,14 +163,39 @@ type Config struct {
 	Faults faults.Injector
 }
 
+// Scratch holds the reusable hot state of cluster runs: the
+// discrete-event engine (with event pooling), the result buffers
+// (per-node stats and latency samples), the routing CDF and the
+// per-node completion callbacks. A long-lived coordinator reuses one
+// Scratch across rounds so that a steady-state run does no heap
+// allocation in the job loop. The Result returned by Run is owned by
+// the scratch and is valid only until the next Run call. A Scratch is
+// not safe for concurrent use, and must not be copied once used.
+type Scratch struct {
+	eng  *sim.Engine
+	res  Result
+	cdf  []float64
+	acc  float64
+	done []func(float64)
+	all  stats.Summary
+
+	cfg        Config
+	stallCount []int
+	jobSeq     int
+	pending    workload.Job
+	pumpFn     func()
+}
+
 // Run simulates the full job stream through the cluster and returns
-// aggregate statistics.
-func Run(cfg Config) (*Result, error) {
-	if len(cfg.Nodes) == 0 {
+// aggregate statistics. The returned Result is owned by the scratch
+// and invalidated by the next Run.
+func (s *Scratch) Run(cfg Config) (*Result, error) {
+	n := len(cfg.Nodes)
+	if n == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
-	if len(cfg.Probs) != len(cfg.Nodes) {
-		return nil, fmt.Errorf("cluster: %d probs for %d nodes", len(cfg.Probs), len(cfg.Nodes))
+	if len(cfg.Probs) != n {
+		return nil, fmt.Errorf("cluster: %d probs for %d nodes", len(cfg.Probs), n)
 	}
 	var sum float64
 	for i, p := range cfg.Probs {
@@ -185,106 +210,66 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Source == nil {
 		return nil, errors.New("cluster: nil job source")
 	}
-	rng := cfg.RNG
-	if rng == nil {
-		rng = numeric.NewRand(1)
+	if cfg.RNG == nil {
+		cfg.RNG = numeric.NewRand(1)
+	}
+	s.cfg = cfg
+
+	if s.eng == nil {
+		s.eng = sim.New()
+		s.eng.SetPooling(true)
+	} else {
+		s.eng.Reset()
 	}
 
-	eng := sim.New()
-	res := &Result{PerNode: make([]NodeStats, len(cfg.Nodes))}
-	for i, n := range cfg.Nodes {
-		res.PerNode[i].Name = n.Name()
+	res := &s.res
+	*res = Result{PerNode: res.PerNode}
+	if cap(res.PerNode) < n {
+		res.PerNode = append(res.PerNode[:cap(res.PerNode)], make([]NodeStats, n-cap(res.PerNode))...)
 	}
-	var all stats.Summary
-
-	// cumulative distribution for routing
-	cdf := make([]float64, len(cfg.Probs))
-	acc := 0.0
-	for i, p := range cfg.Probs {
-		acc += p
-		cdf[i] = acc
-	}
-	pick := func() int {
-		u := rng.Float64() * acc
-		for i, c := range cdf {
-			if u < c {
-				return i
-			}
-		}
-		return len(cdf) - 1
-	}
-
-	// dispatch hands a job to node i; extraObs is added to the
-	// observed latency (a stalled node's inflated measurement).
-	dispatch := func(job workload.Job, i int, extraObs float64) {
-		node := cfg.Nodes[i]
+	res.PerNode = res.PerNode[:n]
+	for i := range res.PerNode {
 		st := &res.PerNode[i]
-		node.Submit(eng, job, func(lat float64) {
-			if t := eng.Now(); t > res.Duration {
-				res.Duration = t
-			}
-			if eng.Now() < cfg.Warmup {
-				return
-			}
-			lat += extraObs
-			st.Jobs++
-			st.Latency.Add(lat)
-			if cfg.KeepSamples {
-				st.Latencies = append(st.Latencies, lat)
-			}
-			all.Add(lat)
-		})
+		*st = NodeStats{Name: cfg.Nodes[i].Name(), Latencies: st.Latencies[:0]}
 	}
-	jobSeq := 0
-	stallCount := make([]int, len(cfg.Nodes))
+	s.all = stats.Summary{}
+	s.jobSeq = 0
 
-	// Schedule every arrival up front; the event queue interleaves
-	// them with completions.
-	for {
-		job, ok := cfg.Source.Next()
-		if !ok {
-			break
-		}
-		eng.At(job.Arrival, func() {
-			i := pick()
-			if cfg.Faults == nil {
-				dispatch(job, i, 0)
-				return
-			}
-			cls := cfg.Faults.Class(i)
-			if cls == faults.NodeCrashed || cls == faults.NodeSilent {
-				res.LostJobs++
-				return
-			}
-			seq := jobSeq
-			jobSeq++
-			d := cfg.Faults.Deliver(faults.Message{Seq: seq, From: -1, To: i, Kind: "job"})
-			if d.Drop {
-				res.LostJobs++
-				return
-			}
-			extraObs := 0.0
-			if cls == faults.NodeStalled {
-				if delay, every := cfg.Faults.Stall(i); every > 0 && stallCount[i]%every == 0 {
-					extraObs = delay
-				}
-				stallCount[i]++
-			}
-			deliver := func() { dispatch(job, i, extraObs) }
-			if d.ExtraDelay > 0 {
-				eng.Schedule(d.ExtraDelay, deliver)
-			} else {
-				deliver()
-			}
-			if d.Duplicate {
-				res.DuplicatedJobs++
-				deliver()
-			}
-		})
+	// Cumulative distribution for routing.
+	s.cdf = s.cdf[:0]
+	s.acc = 0
+	for _, p := range cfg.Probs {
+		s.acc += p
+		s.cdf = append(s.cdf, s.acc)
 	}
-	eng.Run()
+	if cap(s.stallCount) < n {
+		s.stallCount = make([]int, n)
+	}
+	s.stallCount = s.stallCount[:n]
+	clear(s.stallCount)
 
-	res.MeanResponse = all.Mean()
+	// Per-node completion callbacks, created once and reused across
+	// runs; they index the live buffers through s, so growing the
+	// result slices never strands them.
+	for len(s.done) < n {
+		i := len(s.done)
+		s.done = append(s.done, func(lat float64) { s.complete(i, lat) })
+	}
+
+	// Arrivals self-schedule: the pump fires at the pending job's
+	// arrival time, dispatches it, and schedules the next one. This
+	// keeps the event heap small (outstanding completions plus one
+	// arrival) instead of holding the entire job stream.
+	if s.pumpFn == nil {
+		s.pumpFn = s.pump
+	}
+	if job, ok := cfg.Source.Next(); ok {
+		s.pending = job
+		s.eng.At(job.Arrival, s.pumpFn)
+	}
+	s.eng.Run()
+
+	res.MeanResponse = s.all.Mean()
 	window := res.Duration - cfg.Warmup
 	if window > 0 {
 		var k numeric.KahanSum
@@ -299,6 +284,109 @@ func Run(cfg Config) (*Result, error) {
 		res.TotalLatencyRate = k.Value()
 	}
 	return res, nil
+}
+
+// pump processes the pending arrival and schedules the next one.
+func (s *Scratch) pump() {
+	job := s.pending
+	if next, ok := s.cfg.Source.Next(); ok {
+		s.pending = next
+		s.eng.At(next.Arrival, s.pumpFn)
+	}
+	s.arrive(job)
+}
+
+// arrive routes one job, consulting the fault layer when configured.
+func (s *Scratch) arrive(job workload.Job) {
+	i := s.pick()
+	if s.cfg.Faults == nil {
+		s.dispatch(job, i, 0)
+		return
+	}
+	cls := s.cfg.Faults.Class(i)
+	if cls == faults.NodeCrashed || cls == faults.NodeSilent {
+		s.res.LostJobs++
+		return
+	}
+	seq := s.jobSeq
+	s.jobSeq++
+	d := s.cfg.Faults.Deliver(faults.Message{Seq: seq, From: -1, To: i, Kind: "job"})
+	if d.Drop {
+		s.res.LostJobs++
+		return
+	}
+	extraObs := 0.0
+	if cls == faults.NodeStalled {
+		if delay, every := s.cfg.Faults.Stall(i); every > 0 && s.stallCount[i]%every == 0 {
+			extraObs = delay
+		}
+		s.stallCount[i]++
+	}
+	if d.ExtraDelay > 0 {
+		s.eng.Schedule(d.ExtraDelay, func() { s.dispatch(job, i, extraObs) })
+	} else {
+		s.dispatch(job, i, extraObs)
+	}
+	if d.Duplicate {
+		s.res.DuplicatedJobs++
+		s.dispatch(job, i, extraObs)
+	}
+}
+
+// pick samples the routing distribution.
+func (s *Scratch) pick() int {
+	// Binary search for the first cdf entry above u: picks the same
+	// index as a left-to-right scan (the cdf is nondecreasing) at
+	// O(log n) per job instead of O(n).
+	u := s.cfg.RNG.Float64() * s.acc
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u < s.cdf[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// dispatch hands a job to node i; extraObs is added to the observed
+// latency (a stalled node's inflated measurement).
+func (s *Scratch) dispatch(job workload.Job, i int, extraObs float64) {
+	done := s.done[i]
+	if extraObs != 0 {
+		inner := done
+		done = func(lat float64) { inner(lat + extraObs) }
+	}
+	s.cfg.Nodes[i].Submit(s.eng, job, done)
+}
+
+// complete records node i finishing a job with the given observed
+// latency.
+func (s *Scratch) complete(i int, lat float64) {
+	if t := s.eng.Now(); t > s.res.Duration {
+		s.res.Duration = t
+	}
+	if s.eng.Now() < s.cfg.Warmup {
+		return
+	}
+	st := &s.res.PerNode[i]
+	st.Jobs++
+	st.Latency.Add(lat)
+	if s.cfg.KeepSamples {
+		st.Latencies = append(st.Latencies, lat)
+	}
+	s.all.Add(lat)
+}
+
+// Run simulates the full job stream through the cluster and returns
+// aggregate statistics. It is the one-shot form of Scratch.Run; code
+// that runs many rounds should keep a Scratch and amortize the
+// buffers.
+func Run(cfg Config) (*Result, error) {
+	var s Scratch
+	return s.Run(cfg)
 }
 
 // FlowNodes constructs FlowNodes for execution values ts and

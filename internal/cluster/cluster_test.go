@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/faults"
 	"repro/internal/latency"
 	"repro/internal/numeric"
 	"repro/internal/workload"
@@ -277,5 +278,55 @@ func TestDeterministicReplayability(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("non-deterministic runs: %v vs %v", a, b)
+	}
+}
+
+func TestScratchReuseMatchesFreshRuns(t *testing.T) {
+	// A reused Scratch must reproduce, run for run, exactly what fresh
+	// one-shot runs produce — including with faults in play, where the
+	// per-run stall counters and job sequence numbers must reset.
+	makeCfg := func(seed uint64) Config {
+		rng := numeric.NewRand(seed)
+		nodes, err := FlowNodes([]float64{1, 2, 5}, []float64{3, 2, 1}, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Nodes:       nodes,
+			Probs:       Probs([]float64{3, 2, 1}, 6),
+			Source:      workload.NewPoisson(6, 800, nil, rng.Split()),
+			RNG:         rng.Split(),
+			KeepSamples: true,
+			Faults:      faults.New(seed, faults.Drop(0.05), faults.Stall(50, 7, 1)),
+		}
+	}
+	var s Scratch
+	for run := 0; run < 3; run++ {
+		seed := uint64(run + 1)
+		got, err := s.Run(makeCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(makeCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Duration != want.Duration || got.MeanResponse != want.MeanResponse ||
+			got.LostJobs != want.LostJobs || got.DuplicatedJobs != want.DuplicatedJobs ||
+			got.TotalLatencyRate != want.TotalLatencyRate {
+			t.Fatalf("run %d aggregates diverged: scratch %+v, fresh %+v", run, got, want)
+		}
+		for i := range want.PerNode {
+			g, w := &got.PerNode[i], &want.PerNode[i]
+			if g.Jobs != w.Jobs || g.Latency.Mean() != w.Latency.Mean() || len(g.Latencies) != len(w.Latencies) {
+				t.Fatalf("run %d node %d diverged: scratch %d jobs mean %v, fresh %d jobs mean %v",
+					run, i, g.Jobs, g.Latency.Mean(), w.Jobs, w.Latency.Mean())
+			}
+			for j := range w.Latencies {
+				if g.Latencies[j] != w.Latencies[j] {
+					t.Fatalf("run %d node %d sample %d: %v != %v", run, i, j, g.Latencies[j], w.Latencies[j])
+				}
+			}
+		}
 	}
 }

@@ -229,6 +229,7 @@ func ExtendedArtifacts() []Artifact {
 		{ID: "ext-poa", Title: "Extension: price of anarchy of the unpriced game", Table: poaTable},
 		{ID: "ext-shapley", Title: "Extension: cooperative (Shapley) vs mechanism attribution", Table: shapleyTable},
 		{ID: "ext-protocol", Title: "Extension: Figure 2 end-to-end with estimated execution values", Table: protocolFigTable},
+		{ID: "ext-replication", Title: "Extension: Monte Carlo replication sweep of the faulty multi-round system", Table: replicationTable},
 	}
 }
 

@@ -36,6 +36,14 @@ type Rand struct {
 // Distinct seeds yield decorrelated streams.
 func NewRand(seed uint64) *Rand {
 	var r Rand
+	r.Reset(seed)
+	return &r
+}
+
+// Reset reseeds r in place, producing the exact stream NewRand(seed)
+// would. It lets long-lived engines reuse one generator across rounds
+// instead of allocating a fresh one per round.
+func (r *Rand) Reset(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -44,13 +52,21 @@ func NewRand(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
+	r.hasGauss = false
+	r.gauss = 0
 }
 
 // Split derives a new independent stream from r. The parent stream is
 // advanced, so repeated Splits produce distinct children.
 func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// SplitInto seeds child from r exactly as Split would, without
+// allocating. The parent stream is advanced identically, so Split and
+// SplitInto are interchangeable stream-for-stream.
+func (r *Rand) SplitInto(child *Rand) {
+	child.Reset(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

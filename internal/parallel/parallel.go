@@ -25,8 +25,18 @@ func Workers(w int) int {
 // ForEach runs fn(i) for every i in [0, n) across the given number of
 // workers (<= 0 means GOMAXPROCS). It blocks until every call
 // finishes. If any call panics, ForEach re-panics in the caller with
-// the first captured panic value.
+// the first captured panic value; remaining work that no worker has
+// claimed yet is abandoned (fast fail), though chunks already being
+// processed run to completion.
 func ForEach(n, workers int, fn func(i int)) {
+	var stop atomic.Bool
+	forEach(n, workers, &stop, fn)
+}
+
+// forEach is ForEach with a caller-visible stop flag: once stop is
+// set — by a panicking worker or by the caller's fn (MapErr sets it
+// on the first error) — no new chunk is claimed from the cursor.
+func forEach(n, workers int, stop *atomic.Bool, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -35,7 +45,7 @@ func ForEach(n, workers int, fn func(i int)) {
 		w = n
 	}
 	if w == 1 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && !stop.Load(); i++ {
 			fn(i)
 		}
 		return
@@ -63,9 +73,13 @@ func ForEach(n, workers int, fn func(i int)) {
 			defer func() {
 				if r := recover(); r != nil {
 					panicOnce.Do(func() { panicked = r })
+					stop.Store(true)
 				}
 			}()
 			for {
+				if stop.Load() {
+					return
+				}
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
 					return
@@ -95,12 +109,21 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 }
 
 // MapErr applies fn to every index and returns the results in index
-// order along with the first (lowest-index) error encountered. All
-// calls run to completion even when some fail.
+// order along with the lowest-index error encountered. The first
+// error stops the fan-out (fast fail): chunks already claimed run to
+// completion — so every index below the failing one is evaluated and
+// the lowest-index error is well-defined — but unclaimed work is
+// abandoned, and out slots that never ran hold zero values.
 func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
-	ForEach(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	var stop atomic.Bool
+	forEach(n, workers, &stop, func(i int) {
+		out[i], errs[i] = fn(i)
+		if errs[i] != nil {
+			stop.Store(true)
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return out, err

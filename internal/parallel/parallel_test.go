@@ -106,3 +106,59 @@ func TestWorkers(t *testing.T) {
 		t.Error("default workers < 1")
 	}
 }
+
+func TestMapErrFastFailAbandonsUnclaimedWork(t *testing.T) {
+	const n = 100000
+	var calls atomic.Int64
+	_, err := MapErr(n, 4, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got == n {
+		t.Errorf("all %d calls ran despite an error at index 0; fast fail did not stop the fan-out", n)
+	}
+}
+
+func TestMapErrFastFailSerial(t *testing.T) {
+	var calls int
+	_, err := MapErr(1000, 1, func(i int) (int, error) {
+		calls++
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 6 {
+		t.Errorf("serial fast fail ran %d calls, want 6", calls)
+	}
+}
+
+func TestForEachFastFailOnPanic(t *testing.T) {
+	const n = 100000
+	var calls atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected re-panic")
+			}
+		}()
+		ForEach(n, 4, func(i int) {
+			calls.Add(1)
+			if i == 0 {
+				panic("boom")
+			}
+		})
+	}()
+	if got := calls.Load(); got == n {
+		t.Errorf("all %d calls ran despite a panic at index 0", n)
+	}
+}

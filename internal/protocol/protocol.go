@@ -18,18 +18,13 @@
 package protocol
 
 import (
-	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/estimate"
 	"repro/internal/faults"
 	"repro/internal/mech"
-	"repro/internal/numeric"
 	"repro/internal/obs"
-	"repro/internal/workload"
 )
 
 // MessageKind enumerates the protocol message types.
@@ -104,12 +99,22 @@ func unreliable(k MessageKind) bool {
 }
 
 // endpointIndex maps a protocol endpoint name to a fault-layer node
-// index: the coordinator is -1, agent "Ck" is k-1.
+// index: the coordinator is -1, agent "Ck" is k-1. Parsed by hand —
+// this runs for every message on a faulty network, and strconv.Atoi
+// allocates an error for the coordinator's name on each call.
 func endpointIndex(name string) int {
-	if i, err := strconv.Atoi(strings.TrimPrefix(name, "C")); err == nil {
-		return i - 1
+	if len(name) < 2 || name[0] != 'C' {
+		return -1
 	}
-	return -1
+	k := 0
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return -1
+		}
+		k = k*10 + int(c-'0')
+	}
+	return k - 1
 }
 
 // Send delivers (counts, optionally logs) a message and reports
@@ -280,219 +285,10 @@ type Result struct {
 
 const coordinator = "coordinator"
 
-// Run executes one full protocol round.
+// Run executes one full protocol round. It is the one-shot form of
+// Engine.Run: a fresh engine is created per call, so the Result is
+// caller-owned. Loops that run many rounds should hold an Engine and
+// reuse it.
 func Run(cfg Config) (*Result, error) {
-	n := len(cfg.Trues)
-	if n < 2 {
-		return nil, errors.New("protocol: need at least two agents")
-	}
-	if cfg.Rate <= 0 {
-		return nil, fmt.Errorf("protocol: invalid rate %g", cfg.Rate)
-	}
-	jobs := cfg.Jobs
-	if jobs <= 0 {
-		jobs = 20000
-	}
-	zth := cfg.ZThreshold
-	if zth <= 0 {
-		zth = 3
-	}
-	margin := cfg.MarginFrac
-	if margin <= 0 {
-		margin = 0.05
-	}
-	strategies := cfg.Strategies
-	if strategies == nil {
-		strategies = make([]Strategy, n)
-	}
-	if len(strategies) != n {
-		return nil, fmt.Errorf("protocol: %d strategies for %d agents", len(strategies), n)
-	}
-
-	// Fold the deprecated fault knobs (SilentStrategy, StallEvery)
-	// into the unified injector: the round consults only inj.
-	var legacy []faults.Option
-	for i, s := range strategies {
-		if _, ok := s.(SilentStrategy); ok {
-			legacy = append(legacy, faults.Silent(i))
-		}
-	}
-	for i, k := range cfg.StallEvery {
-		legacy = append(legacy, faults.Stall(cfg.StallDelay, k, i))
-	}
-	inj := faults.Merge(cfg.Faults)
-	if len(legacy) > 0 {
-		inj = faults.Merge(cfg.Faults, faults.New(0, legacy...))
-	}
-
-	met := cfg.Obs.RoundMetrics()
-	fm := cfg.Obs.FaultMetrics()
-	net := &Network{Record: cfg.RecordMessages, Faults: inj, Obs: fm}
-	rng := numeric.NewRand(cfg.Seed)
-	var names []string
-	var agents []mech.Agent
-	var active []int
-	var dropped []string
-
-	// Phases 1-2: bid collection. A crashed or silent node, a lost bid
-	// request and a lost bid all look the same to the coordinator: no
-	// bid arrives.
-	for i, tv := range cfg.Trues {
-		name := fmt.Sprintf("C%d", i+1)
-		reqArrived := net.Send(Message{From: coordinator, To: name, Kind: MsgRequestBid})
-		s := strategies[i]
-		if s == nil {
-			s = TruthfulStrategy{}
-		}
-		bid := 0.0
-		if cls := inj.Class(i); reqArrived && cls != faults.NodeCrashed && cls != faults.NodeSilent {
-			bid = s.Bid(tv)
-		}
-		if bid <= 0 {
-			if cfg.AllowDropouts {
-				dropped = append(dropped, name)
-				continue
-			}
-			return nil, fmt.Errorf("protocol: agent %s failed to bid", name)
-		}
-		if !net.Send(Message{From: name, To: coordinator, Kind: MsgBid, Value: bid}) {
-			if cfg.AllowDropouts {
-				dropped = append(dropped, name)
-				continue
-			}
-			return nil, fmt.Errorf("protocol: agent %s failed to bid", name)
-		}
-		names = append(names, name)
-		active = append(active, i)
-		agents = append(agents, mech.Agent{
-			Name: name,
-			True: tv,
-			Bid:  bid,
-			Exec: s.Exec(tv, bid),
-		})
-	}
-	if len(agents) < 2 {
-		return nil, fmt.Errorf("protocol: only %d responsive agents", len(agents))
-	}
-	n = len(agents)
-
-	// Phase 3: allocation.
-	model := mech.LinearModel{}
-	x, err := model.Alloc(mech.Bids(agents), cfg.Rate)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: allocation: %w", err)
-	}
-	for i := range agents {
-		net.Send(Message{From: coordinator, To: names[i], Kind: MsgAssign, Value: x[i]})
-	}
-
-	// Phase 4: execution on the simulated cluster, with observation.
-	nodes, err := cluster.FlowNodes(mech.Execs(agents), x, rng.Split())
-	if err != nil {
-		return nil, err
-	}
-	simRes, err := cluster.Run(cluster.Config{
-		Nodes:       nodes,
-		Probs:       cluster.Probs(x, cfg.Rate),
-		Source:      workload.NewPoisson(cfg.Rate, jobs, nil, rng.Split()),
-		RNG:         rng.Split(),
-		KeepSamples: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("protocol: execution simulation: %w", err)
-	}
-
-	estimates := make([]estimate.Estimate, n)
-	verdicts := make([]estimate.Verdict, n)
-	estimated := append([]mech.Agent(nil), agents...)
-	for i := range agents {
-		reported := net.Send(Message{
-			From: names[i], To: coordinator, Kind: MsgCompleted,
-			Value: float64(simRes.PerNode[i].Jobs),
-		})
-		// Estimate against the rate the coordinator assigned: the
-		// coordinator is itself the dispatcher, so x_i is known
-		// exactly, and using the (noisy) observed arrival rate would
-		// understate the estimator's uncertainty.
-		samples := simRes.PerNode[i].Latencies
-		if !reported {
-			// The completion report was lost: the coordinator cannot
-			// match its observations to the agent's accounting, so it
-			// falls back to trusting the bid, unaudited.
-			samples = nil
-		}
-		if stall, k := inj.Stall(active[i]); k > 0 {
-			samples = append([]float64(nil), samples...)
-			for j := 0; j < len(samples); j += k {
-				samples[j] = stall
-				fm.Injected("stall")
-			}
-		}
-		if len(samples) == 0 || x[i] <= 0 {
-			// No jobs observed (possible only under extreme
-			// allocations): fall back to trusting the bid.
-			estimates[i] = estimate.Estimate{Value: agents[i].Bid, N: 0}
-		} else {
-			estFn := estimate.FromFlowDelays
-			if cfg.RobustEstimator {
-				estFn = estimate.FromFlowDelaysRobust
-			}
-			est, err := estFn(samples, x[i])
-			if err != nil {
-				return nil, fmt.Errorf("protocol: estimating agent %s: %w", names[i], err)
-			}
-			estimates[i] = est
-		}
-		verdicts[i] = estimate.VerifyWithMargin(estimates[i], agents[i].Bid, zth, margin)
-		if verdicts[i].Invalid {
-			met.VerdictInvalid()
-			cfg.Obs.Emit(obs.Event{
-				Layer: "protocol", Kind: "verdict-invalid", Node: active[i],
-				Detail: names[i], Value: estimates[i].Value,
-			})
-		} else if verdicts[i].Deviating {
-			met.AuditFlagged(1)
-			cfg.Obs.Emit(obs.Event{
-				Layer: "protocol", Kind: "audit-flag", Node: active[i],
-				Detail: names[i], Value: verdicts[i].ZScore,
-			})
-		}
-		estimated[i].Exec = estimates[i].Value
-	}
-
-	mechanism := mech.CompensationBonus{}
-	outcome, err := mechanism.Run(estimated, cfg.Rate)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: payment computation: %w", err)
-	}
-	oracle, err := mechanism.Run(agents, cfg.Rate)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: oracle payment computation: %w", err)
-	}
-
-	// Phase 5: payments.
-	for i := range agents {
-		net.Send(Message{From: coordinator, To: names[i], Kind: MsgPayment, Value: outcome.Payment[i]})
-	}
-
-	met.AddMessages(net.Count, net.Lost, 0)
-	met.RoundDone("ok", simRes.Duration)
-	cfg.Obs.Emit(obs.Event{
-		Layer: "protocol", Kind: "round-ok",
-		Detail: fmt.Sprintf("agents=%d dropped=%d messages=%d", n, len(dropped), net.Count),
-		Value:  simRes.Duration,
-	})
-
-	return &Result{
-		Outcome:   outcome,
-		Oracle:    oracle,
-		Estimates: estimates,
-		Verdicts:  verdicts,
-		Messages:  net.Count,
-		Lost:      net.Lost,
-		Active:    active,
-		Dropped:   dropped,
-		Net:       net,
-		Sim:       simRes,
-	}, nil
+	return NewEngine().Run(cfg)
 }

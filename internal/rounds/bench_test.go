@@ -1,0 +1,74 @@
+package rounds
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// benchSweepConfig is the throughput benchmark scenario: a
+// 100-computer population with churn and a deviator, 200 rounds per
+// simulation. JobsPerRound is kept modest so the benchmark exercises
+// the round engine rather than just the job simulator.
+func benchSweepConfig() Config {
+	computers := make([]ComputerSpec, 100)
+	trues := []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 10}
+	for i := range computers {
+		computers[i] = ComputerSpec{True: trues[i%len(trues)]}
+	}
+	// One persistent deviator and a little churn keep the suspension
+	// and membership machinery on the measured path.
+	computers[3].Strategy = protocol.FactorStrategy{BidFactor: 1, ExecFactor: 2}
+	computers[50].JoinRound = 40
+	computers[51].LeaveRound = 160
+	return Config{
+		Computers:    computers,
+		Rate:         20,
+		Rounds:       200,
+		JobsPerRound: 150,
+		Seed:         1,
+		Policy:       Policy{Strikes: 2, BanRounds: 5, ForgiveAfter: 20},
+	}
+}
+
+const benchReplications = 32
+
+// BenchmarkRoundsFresh is the before-this-engine shape: a fresh
+// engine (and all its scratch) per replication, run serially.
+func BenchmarkRoundsFresh(b *testing.B) {
+	cfg := benchSweepConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for rep := 0; rep < benchReplications; rep++ {
+			c := cfg
+			c.Seed = cfg.Seed + uint64(rep)*0x9e3779b97f4a7c15
+			if _, err := Run(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRoundsSerial runs the same sweep through the replication
+// harness at width 1: one pooled engine, scratch reused end to end.
+func BenchmarkRoundsSerial(b *testing.B) {
+	spec := Replications{Base: benchSweepConfig(), Count: benchReplications, Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReplications(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundsParallel fans the sweep over GOMAXPROCS workers,
+// each with its own pooled engine.
+func BenchmarkRoundsParallel(b *testing.B) {
+	spec := Replications{Base: benchSweepConfig(), Count: benchReplications}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReplications(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package rounds
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// Replications configures a fan-out of independent multi-round
+// simulations — the Monte Carlo workhorse behind confidence intervals
+// on suspension counts, latency regret and payment totals.
+type Replications struct {
+	// Base is the configuration every replication starts from.
+	Base Config
+	// Count is the number of replications when Seeds is nil.
+	Count int
+	// Seeds overrides the per-replication seeds; when nil, replication
+	// i runs with Base.Seed + i*2^64/φ, a fixed derivation so results
+	// do not depend on scheduling.
+	Seeds []uint64
+	// Vary optionally mutates replication i's config (scenario sweeps:
+	// a different rate, population or fault plan per slot). It is
+	// called from worker goroutines and must not share mutable state
+	// across replications.
+	Vary func(rep int, cfg *Config)
+	// Workers is the fan-out width (<= 0 means GOMAXPROCS).
+	Workers int
+}
+
+// RunReplications runs every replication and returns the results in
+// replication order: slot i is replication i no matter which worker
+// ran it or when, and the records are byte-for-byte identical to a
+// serial (Workers = 1) run of the same spec. Each worker owns a
+// pooled Engine, so the fan-out reuses scratch instead of allocating
+// per replication; results are deep copies that outlive the pool. The
+// first error cancels unclaimed replications (fast fail) and is
+// returned with its replication index.
+//
+// Two sharing caveats follow from the fan-out: Base.Obs, if set, sees
+// events from all workers concurrently and must tolerate that; and
+// stateful Strategy implementations in Base.Computers are shared
+// across replications — strategies should be stateless (the ones in
+// this repository are) or Vary should substitute per-replication
+// instances.
+func RunReplications(r Replications) ([]*Result, error) {
+	count := r.Count
+	if len(r.Seeds) > 0 {
+		count = len(r.Seeds)
+	}
+	if count <= 0 {
+		return nil, errors.New("rounds: no replications configured")
+	}
+	var pool sync.Pool // of *Engine
+	results, err := parallel.MapErr(count, r.Workers, func(i int) (*Result, error) {
+		cfg := r.Base
+		if r.Seeds != nil {
+			cfg.Seed = r.Seeds[i]
+		} else {
+			cfg.Seed = r.Base.Seed + uint64(i)*0x9e3779b97f4a7c15
+		}
+		if r.Vary != nil {
+			r.Vary(i, &cfg)
+		}
+		eng, _ := pool.Get().(*Engine)
+		if eng == nil {
+			eng = NewEngine()
+		}
+		res, err := eng.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("rounds: replication %d: %w", i, err)
+		}
+		out := res.Clone()
+		pool.Put(eng)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

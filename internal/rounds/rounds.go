@@ -9,11 +9,7 @@
 package rounds
 
 import (
-	"errors"
-	"fmt"
-
 	"repro/internal/faults"
-	"repro/internal/mech"
 	"repro/internal/obs"
 	"repro/internal/protocol"
 )
@@ -132,171 +128,10 @@ type Result struct {
 	Suspensions []int
 }
 
-// Run executes the multi-round system.
+// Run executes the multi-round system. It is the one-shot form of
+// Engine.Run: a fresh engine is created per call, so the Result is
+// caller-owned. Sweeps that run many simulations should hold an
+// Engine and reuse it (or use RunReplications to fan out).
 func Run(cfg Config) (*Result, error) {
-	n := len(cfg.Computers)
-	if n < 2 {
-		return nil, errors.New("rounds: need at least two computers")
-	}
-	if cfg.Rounds <= 0 {
-		return nil, errors.New("rounds: non-positive round count")
-	}
-	if cfg.Rate <= 0 && cfg.RateFor == nil {
-		return nil, errors.New("rounds: no arrival rate configured")
-	}
-	for i, c := range cfg.Computers {
-		if c.True <= 0 {
-			return nil, fmt.Errorf("rounds: computer %d has invalid true value %g", i, c.True)
-		}
-		if c.JoinRound < 0 {
-			return nil, fmt.Errorf("rounds: computer %d has negative join round", i)
-		}
-	}
-	pol := cfg.Policy.withDefaults()
-	jobs := cfg.JobsPerRound
-	if jobs <= 0 {
-		jobs = 5000
-	}
-
-	met := cfg.Obs.SuperviseMetrics()
-	res := &Result{
-		Strikes:     make([]int, n),
-		Suspensions: make([]int, n),
-	}
-	bannedUntil := make([]int, n) // round index at which the ban ends
-	lastFlag := make([]int, n)    // round of the most recent flag
-	for i := range lastFlag {
-		lastFlag[i] = -1
-	}
-
-	for round := 0; round < cfg.Rounds; round++ {
-		rate := cfg.Rate
-		if cfg.RateFor != nil {
-			rate = cfg.RateFor(round)
-		}
-		if rate <= 0 {
-			return nil, fmt.Errorf("rounds: round %d has invalid rate %g", round, rate)
-		}
-		rec := Record{Round: round}
-		var trues []float64
-		var strategies []protocol.Strategy
-		for i, c := range cfg.Computers {
-			present := round >= c.JoinRound && (c.LeaveRound <= 0 || round < c.LeaveRound)
-			if !present {
-				continue
-			}
-			if round < bannedUntil[i] {
-				rec.Suspended = append(rec.Suspended, i)
-				continue
-			}
-			rec.Active = append(rec.Active, i)
-			trues = append(trues, c.True)
-			strategies = append(strategies, c.Strategy)
-		}
-		if len(rec.Active) < 2 {
-			return nil, fmt.Errorf("rounds: round %d has only %d active computers", round, len(rec.Active))
-		}
-		met.Excluded("suspended", len(rec.Suspended))
-		base := protocol.Config{
-			Trues:      trues,
-			Strategies: strategies,
-			Rate:       rate,
-			Jobs:       jobs,
-			Seed:       cfg.Seed + uint64(round)*0x9e3779b9,
-			ZThreshold: pol.ZThreshold,
-			Obs:        cfg.Obs,
-		}
-		var pres *protocol.Result
-		var err error
-		for attempt := 0; ; attempt++ {
-			pcfg := base
-			if attempt > 0 {
-				pcfg.Seed = base.Seed + uint64(attempt)*0x85ebca6b
-			}
-			if cfg.Faults != nil {
-				// Re-key the schedule per (round, attempt) — attempt 0
-				// of round 0 keeps the plan's own seed — and remap the
-				// population-level node ids onto this round's active
-				// set.
-				salt := uint64(round)<<8 | uint64(attempt&0xff)
-				pcfg.Faults = faults.Remap(faults.Reseed(cfg.Faults, salt), rec.Active)
-			}
-			// Retries chase a fully responsive round; the final
-			// attempt degrades to whoever answers.
-			pcfg.AllowDropouts = cfg.MaxRetries > 0 && attempt == cfg.MaxRetries
-			pres, err = protocol.Run(pcfg)
-			rec.Attempts = attempt + 1
-			if err == nil {
-				met.AttemptDone("ok")
-				break
-			}
-			met.AttemptDone("protocol-error")
-			cfg.Obs.Emit(obs.Event{
-				Layer: "rounds", Kind: "attempt-failed", Node: round,
-				Detail: fmt.Sprintf("#%d: %v", attempt+1, err),
-			})
-			if attempt >= cfg.MaxRetries {
-				return nil, fmt.Errorf("rounds: round %d: %w", round, err)
-			}
-			met.RetryScheduled(0)
-		}
-		rec.LostMessages = pres.Lost
-		met.AcceptedRound(len(pres.Active) != len(rec.Active))
-		activeTrues := trues
-		if len(pres.Active) != len(rec.Active) {
-			// Some computers dropped out: record them and compare the
-			// realized latency against the optimum for the agents that
-			// actually served.
-			responsive := make(map[int]bool, len(pres.Active))
-			activeTrues = nil
-			for _, j := range pres.Active {
-				responsive[j] = true
-				activeTrues = append(activeTrues, trues[j])
-			}
-			for j := range rec.Active {
-				if !responsive[j] {
-					rec.Dropouts = append(rec.Dropouts, rec.Active[j])
-				}
-			}
-			met.Excluded("dropout", len(rec.Dropouts))
-		}
-		rec.Latency = pres.Oracle.RealLatency
-		rec.TotalPayment = pres.Outcome.TotalPayment()
-		model := mech.LinearModel{}
-		opt, err := model.OptimalTotal(activeTrues, rate)
-		if err != nil {
-			return nil, err
-		}
-		rec.OptLatency = opt
-		for pos, v := range pres.Verdicts {
-			// Flagged covers both deviation and invalid verdicts: a
-			// measurement the coordinator cannot verify counts as a
-			// strike, not as a pass.
-			if !v.Flagged() {
-				continue
-			}
-			// pres positions index the responsive subset; pres.Active
-			// maps them to this round's roster, rec.Active to the
-			// population.
-			idx := rec.Active[pres.Active[pos]]
-			rec.Flagged = append(rec.Flagged, idx)
-			if pol.ForgiveAfter > 0 && lastFlag[idx] >= 0 &&
-				round-lastFlag[idx] > pol.ForgiveAfter {
-				res.Strikes[idx] = 0
-			}
-			lastFlag[idx] = round
-			res.Strikes[idx]++
-			if res.Strikes[idx] >= pol.Strikes {
-				bannedUntil[idx] = round + 1 + pol.BanRounds
-				res.Suspensions[idx]++
-				res.Strikes[idx] = 0
-				cfg.Obs.Emit(obs.Event{
-					Layer: "rounds", Kind: "suspend", Node: idx,
-					Detail: fmt.Sprintf("round %d, %d rounds", round, pol.BanRounds),
-				})
-			}
-		}
-		res.Records = append(res.Records, rec)
-	}
-	return res, nil
+	return NewEngine().Run(cfg)
 }

@@ -195,3 +195,95 @@ func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 		t.Error("Step on empty engine returned true")
 	}
 }
+
+func TestScheduleCallCarriesArg(t *testing.T) {
+	e := New()
+	var got []float64
+	add := func(v float64) { got = append(got, v) }
+	e.ScheduleCall(2, add, 20)
+	e.AtCall(1, add, 10)
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPoolingReusesEvents(t *testing.T) {
+	e := New()
+	e.SetPooling(true)
+	fn := func(float64) {}
+	// One outstanding event at a time: after warm-up, scheduling must
+	// reuse the single pooled Event instead of allocating.
+	e.ScheduleCall(1, fn, 0)
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleCall(1, fn, 0)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("pooled schedule+run allocated %v per op, want 0", allocs)
+	}
+}
+
+func TestResetReplaysIdentically(t *testing.T) {
+	e := New()
+	e.SetPooling(true)
+	run := func() []float64 {
+		var order []float64
+		e.Schedule(3, func() { order = append(order, e.Now()) })
+		e.Schedule(1, func() { order = append(order, e.Now()) })
+		e.Schedule(1, func() { order = append(order, -e.Now()) }) // FIFO tie-break
+		e.Run()
+		return order
+	}
+	first := run()
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("reset left now=%v pending=%d", e.Now(), e.Pending())
+	}
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("replay lengths differ: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestResetDiscardsPending(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Reset()
+	e.Run()
+	if fired {
+		t.Error("event survived Reset")
+	}
+}
+
+func TestResetClearsStop(t *testing.T) {
+	e := New()
+	e.Stop()
+	e.Reset()
+	if e.Stopped() {
+		t.Error("Reset did not clear Stop")
+	}
+}
+
+func TestPoolingRecyclesCanceled(t *testing.T) {
+	e := New()
+	e.SetPooling(true)
+	ev := e.Schedule(1, func() { t.Error("canceled event fired") })
+	ev.Cancel()
+	e.Run()
+	// The canceled event must have been recycled: the next schedule
+	// runs without allocating.
+	if allocs := testing.AllocsPerRun(10, func() {
+		e.ScheduleCall(1, func(float64) {}, 0)
+		e.Run()
+	}); allocs != 0 {
+		t.Errorf("schedule after canceled recycle allocated %v", allocs)
+	}
+}

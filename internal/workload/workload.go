@@ -109,6 +109,15 @@ type Poisson struct {
 // arrival rate (jobs per second) with sizes from dist (ConstSize if
 // nil). It panics on non-positive rate or n.
 func NewPoisson(rate float64, n int, dist SizeDist, rng *numeric.Rand) *Poisson {
+	p := &Poisson{}
+	p.Reset(rate, n, dist, rng)
+	return p
+}
+
+// Reset reinitializes p in place with the semantics of NewPoisson,
+// letting a long-lived engine reuse one source across rounds instead
+// of allocating a fresh one per round. The same validation applies.
+func (p *Poisson) Reset(rate float64, n int, dist SizeDist, rng *numeric.Rand) {
 	if rate <= 0 || math.IsNaN(rate) {
 		panic(fmt.Sprintf("workload: invalid rate %v", rate))
 	}
@@ -121,7 +130,7 @@ func NewPoisson(rate float64, n int, dist SizeDist, rng *numeric.Rand) *Poisson 
 	if rng == nil {
 		rng = numeric.NewRand(1)
 	}
-	return &Poisson{rate: rate, n: int64(n), sizes: dist, rng: rng}
+	*p = Poisson{rate: rate, n: int64(n), sizes: dist, rng: rng}
 }
 
 // Next implements Source.
