@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check fuzz difftest bench bench-rounds
+.PHONY: build test vet lint race check fuzz difftest bench bench-rounds bench-registry
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,13 @@ bench-rounds:
 	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_rounds.json
 	@rm -f .bench_raw.txt
 	@cat BENCH_rounds.json
+
+# Record the concurrent-registry baseline (lock-free snapshot reads,
+# mixed read/rebid worker sweep, epoch seal cost) as stable JSON.
+# Commit BENCH_registry.json to track regressions; the workers sweep
+# only shows scaling on a multi-core host.
+bench-registry:
+	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchmem ./internal/registry > .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_registry.json
+	@rm -f .bench_raw.txt
+	@cat BENCH_registry.json

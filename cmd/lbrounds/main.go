@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/report"
 	"repro/internal/rounds"
@@ -45,7 +46,16 @@ func main() {
 	trace := flag.Bool("trace", false, "print the event trace after the run")
 	replications := flag.Int("replications", 1, "independent replications with derived seeds (> 1 enables the sweep)")
 	workers := flag.Int("workers", 0, "fan-out width for -replications (0 = all CPUs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profile.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbrounds:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	var inj faults.Injector
 	if *faultSpec != "" {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/numeric"
 )
@@ -25,6 +26,7 @@ type Stream struct {
 	s       float64         // running sum of 1/t
 	mutates int
 	nextID  int
+	sealIDs []int // scratch for Sealed's canonical id walk
 }
 
 // rebuildEvery bounds drift: after this many mutations the running sum
@@ -162,18 +164,66 @@ func (st *Stream) ExclusionLatency(id int) (float64, error) {
 }
 
 // Snapshot returns the ids and the full allocation vector in id order.
+// The allocation is computed against the canonical sealed aggregate
+// (see Sealed), so snapshots are deterministic functions of the live
+// population: any two streams holding the same (id, t) set snapshot
+// identically, regardless of the mutation history that produced them.
 func (st *Stream) Snapshot() (ids []int, x []float64) {
-	ids = make([]int, 0, len(st.values))
+	return st.SnapshotInto(nil, nil)
+}
+
+// SnapshotInto is Snapshot writing into caller-provided buffers
+// (reused when their capacity suffices), so steady-state full sweeps
+// allocate nothing. It returns the filled slices.
+func (st *Stream) SnapshotInto(ids []int, x []float64) ([]int, []float64) {
+	if cap(ids) < len(st.values) {
+		ids = make([]int, 0, len(st.values))
+	}
+	ids = ids[:0]
 	for id := range st.values {
 		ids = append(ids, id)
 	}
-	// Deterministic order.
-	sortInts(ids)
-	x = make([]float64, len(ids))
+	slices.Sort(ids)
+	x = numeric.Resize(x, len(ids))
+	var k numeric.KahanSum
+	for _, id := range ids {
+		k.Add(1 / st.values[id])
+	}
+	s := k.Value()
 	for i, id := range ids {
-		x[i], _ = st.Load(id)
+		x[i] = st.rate / (st.values[id] * s)
 	}
 	return ids, x
+}
+
+// Sealed returns the canonical aggregate S = sum 1/t: a single
+// compensated (Neumaier) summation over the live computers in
+// ascending id order. Unlike the running Sum — whose last few bits
+// depend on the mutation history — Sealed depends only on the live
+// (id, t) set, which makes it the determinism anchor shared with the
+// concurrent sharded registry: registry.Seal computes exactly this
+// reduction, so sealed aggregates compare bitwise-equal across the
+// two implementations for any shard or worker count.
+func (st *Stream) Sealed() float64 {
+	if cap(st.sealIDs) < len(st.values) {
+		st.sealIDs = make([]int, 0, len(st.values))
+	}
+	st.sealIDs = st.sealIDs[:0]
+	for id := range st.values {
+		st.sealIDs = append(st.sealIDs, id)
+	}
+	slices.Sort(st.sealIDs)
+	var k numeric.KahanSum
+	for _, id := range st.sealIDs {
+		k.Add(1 / st.values[id])
+	}
+	return k.Value()
+}
+
+// Value returns the latency parameter registered under id.
+func (st *Stream) Value(id int) (float64, bool) {
+	t, ok := st.values[id]
+	return t, ok
 }
 
 // bump counts a mutation and periodically rebuilds the running sum
@@ -188,15 +238,4 @@ func (st *Stream) bump() {
 		k.Add(1 / t)
 	}
 	st.s = k.Value()
-}
-
-// sortInts is a tiny insertion sort (id lists are small and often
-// nearly sorted); avoids pulling the sort package dependency into the
-// hot path.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

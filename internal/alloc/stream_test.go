@@ -206,12 +206,107 @@ func TestStreamEdgeCases(t *testing.T) {
 	}
 }
 
-func TestSortInts(t *testing.T) {
-	xs := []int{5, 2, 9, 1, 5, 0}
-	sortInts(xs)
-	for i := 1; i < len(xs); i++ {
-		if xs[i] < xs[i-1] {
-			t.Fatalf("not sorted: %v", xs)
+func TestSnapshotMatchesProportionalExactly(t *testing.T) {
+	// Snapshot's canonical aggregate is the same compensated reduction
+	// ProportionalInto performs over the id-ordered value vector, so
+	// the two allocation vectors agree bitwise, not just to tolerance.
+	st, err := NewStream(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []float64{1, 3, 2, 7, 0.5, 11, 2}
+	for _, v := range ts {
+		if _, err := st.Add(v); err != nil {
+			t.Fatal(err)
 		}
+	}
+	if err := st.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Update(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	ids, x := st.Snapshot()
+	vals := make([]float64, len(ids))
+	for i, id := range ids {
+		v, ok := st.Value(id)
+		if !ok {
+			t.Fatalf("snapshot id %d missing from stream", id)
+		}
+		vals[i] = v
+	}
+	want, err := Proportional(vals, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Errorf("x[%d] = %g, want exactly %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSealedDependsOnlyOnLiveSet(t *testing.T) {
+	// Two different mutation histories converging to the same live
+	// (id, t) set must seal to bitwise-identical aggregates.
+	a, _ := NewStream(5)
+	b, _ := NewStream(5)
+	for _, v := range []float64{2, 3, 4} {
+		if _, err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b reaches the same state by adding wrong values, updating, and
+	// removing an extra computer.
+	for _, v := range []float64{7, 3, 1} {
+		if _, err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Add(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sealed() != b.Sealed() {
+		t.Errorf("Sealed diverged: %g vs %g", a.Sealed(), b.Sealed())
+	}
+	if got, want := a.Sealed(), a.Sum(); !numeric.AlmostEqual(got, want, 1e-12, 1e-15) {
+		t.Errorf("Sealed %g far from running sum %g", got, want)
+	}
+}
+
+func TestSnapshotIntoReusesBuffersWithoutAllocating(t *testing.T) {
+	st, err := NewStream(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := st.Add(1 + float64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, x := st.SnapshotInto(nil, nil)
+	if len(ids) != 256 || len(x) != 256 {
+		t.Fatalf("snapshot sizes %d/%d, want 256", len(ids), len(x))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ids, x = st.SnapshotInto(ids, x)
+	})
+	if allocs != 0 {
+		t.Errorf("SnapshotInto allocated %.0f times per run with warm buffers, want 0", allocs)
+	}
+	allocsSealed := testing.AllocsPerRun(100, func() {
+		_ = st.Sealed()
+	})
+	if allocsSealed != 0 {
+		t.Errorf("Sealed allocated %.0f times per run with warm scratch, want 0", allocsSealed)
 	}
 }

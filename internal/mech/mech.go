@@ -33,6 +33,22 @@ func Truthful(ts []float64) []Agent {
 	return agents
 }
 
+// TruthfulInto is Truthful writing into dst (reused when its capacity
+// suffices), for full-sweep callers that rebuild same-sized truthful
+// populations every epoch and must not allocate in steady state. The
+// agents are unnamed (Name ""): names exist for human-facing reports,
+// and formatting them would put a Sprintf on the sweep hot path.
+func TruthfulInto(dst []Agent, ts []float64) []Agent {
+	if cap(dst) < len(ts) {
+		dst = make([]Agent, len(ts))
+	}
+	dst = dst[:len(ts)]
+	for i, t := range ts {
+		dst[i] = Agent{True: t, Bid: t, Exec: t}
+	}
+	return dst
+}
+
 // Values extracts one field from an agent population.
 func Values(agents []Agent, field func(Agent) float64) []float64 {
 	out := make([]float64, len(agents))

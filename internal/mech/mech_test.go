@@ -286,3 +286,35 @@ func TestOutcomeAggregates(t *testing.T) {
 		t.Error("empty FrugalityRatio should be NaN")
 	}
 }
+
+func TestTruthfulIntoMatchesTruthful(t *testing.T) {
+	ts := paperTs()
+	named := Truthful(ts)
+	buf := TruthfulInto(nil, ts)
+	if len(buf) != len(named) {
+		t.Fatalf("len = %d, want %d", len(buf), len(named))
+	}
+	for i := range buf {
+		if buf[i].True != named[i].True || buf[i].Bid != named[i].Bid || buf[i].Exec != named[i].Exec {
+			t.Errorf("agent %d = %+v, want values of %+v", i, buf[i], named[i])
+		}
+		if buf[i].Name != "" {
+			t.Errorf("agent %d named %q, want unnamed", i, buf[i].Name)
+		}
+	}
+	// Payments are name-independent, so an engine run over the unnamed
+	// population reproduces the named one exactly.
+	a := mustRun(t, CompensationBonus{}, named, paperRate)
+	b := mustRun(t, CompensationBonus{}, buf, paperRate)
+	for i := range a.Payment {
+		if a.Payment[i] != b.Payment[i] {
+			t.Errorf("payment %d: named %g, unnamed %g", i, a.Payment[i], b.Payment[i])
+		}
+	}
+	// Buffer reuse: a same-sized refill hands back the same backing
+	// array.
+	again := TruthfulInto(buf, ts)
+	if &again[0] != &buf[0] {
+		t.Error("TruthfulInto reallocated despite sufficient capacity")
+	}
+}

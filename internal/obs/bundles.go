@@ -255,6 +255,97 @@ func (m *FaultMetrics) Injected(kind string) {
 	m.Injections.With(kind).Inc()
 }
 
+// RegistryMetrics instruments the sharded bid registry: mutation
+// traffic, epoch sealing and the latency of both sides of the
+// snapshot protocol. Every record method is a plain atomic add, so the
+// registry's lock-free read path and O(1) mutation path stay
+// allocation-free with metrics on or off.
+type RegistryMetrics struct {
+	// Adds, Removes, Updates count applied mutations by kind.
+	Adds, Removes, Updates *Counter
+	// Coalesced counts rebids that overwrote a bid no epoch had sealed
+	// yet — traffic the epoch protocol absorbed without any reader
+	// ever observing the intermediate value.
+	Coalesced *Counter
+	// Rebuilds counts per-shard partial-sum rebuilds (drift control).
+	Rebuilds *Counter
+	// Epochs counts sealed epochs.
+	Epochs *Counter
+	// Live gauges the live agent count as of the last seal.
+	Live *Gauge
+	// SealSeconds observes wall-clock seal latencies; ReadSeconds
+	// observes sampled snapshot-read latencies (load drivers sample a
+	// subset of reads — timing every lock-free read would cost more
+	// than the read).
+	SealSeconds, ReadSeconds *Histogram
+}
+
+// NewRegistryMetrics registers the bid-registry bundle on r.
+func NewRegistryMetrics(r *Registry) *RegistryMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RegistryMetrics{
+		Adds:        r.Counter("lb_registry_adds_total", "agents added to the bid registry"),
+		Removes:     r.Counter("lb_registry_removes_total", "agents removed from the bid registry"),
+		Updates:     r.Counter("lb_registry_updates_total", "bid updates applied"),
+		Coalesced:   r.Counter("lb_registry_coalesced_rebids_total", "rebids overwriting a bid no epoch had sealed"),
+		Rebuilds:    r.Counter("lb_registry_partial_rebuilds_total", "per-shard compensated partial-sum rebuilds"),
+		Epochs:      r.Counter("lb_registry_epochs_sealed_total", "epochs sealed"),
+		Live:        r.Gauge("lb_registry_live_agents", "live agents as of the last sealed epoch"),
+		SealSeconds: r.Histogram("lb_registry_seal_seconds", "epoch seal wall-clock latency", nil),
+		ReadSeconds: r.Histogram("lb_registry_read_seconds", "sampled snapshot-read wall-clock latency", nil),
+	}
+}
+
+// Mutated records one applied mutation; coalesced marks an update
+// that overwrote a not-yet-sealed bid.
+func (m *RegistryMetrics) Mutated(kind string, coalesced bool) {
+	if m == nil {
+		return
+	}
+	switch kind {
+	case "add":
+		m.Adds.Inc()
+	case "remove":
+		m.Removes.Inc()
+	case "update":
+		m.Updates.Inc()
+	}
+	if coalesced {
+		m.Coalesced.Inc()
+	}
+}
+
+// Rebuilt records one per-shard partial-sum rebuild.
+func (m *RegistryMetrics) Rebuilt() {
+	if m == nil {
+		return
+	}
+	m.Rebuilds.Inc()
+}
+
+// Sealed records one sealed epoch over n live agents and its
+// wall-clock latency (negative seconds are not observed).
+func (m *RegistryMetrics) Sealed(n int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.Epochs.Inc()
+	m.Live.Set(float64(n))
+	if seconds >= 0 {
+		m.SealSeconds.Observe(seconds)
+	}
+}
+
+// ReadSampled records one sampled snapshot-read latency.
+func (m *RegistryMetrics) ReadSampled(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.ReadSeconds.Observe(seconds)
+}
+
 // Observer bundles a registry, a trace ring and every layer bundle,
 // so a CLI can enable full observability with one value and each
 // layer can pull its slice. A nil *Observer disables everything.
@@ -263,11 +354,13 @@ type Observer struct {
 	Registry *Registry
 	// Trace is the shared event ring.
 	Trace *Trace
-	// Round, Supervise, Engine and Faults are the layer bundles.
-	Round     *RoundMetrics
-	Supervise *SuperviseMetrics
-	Engine    *EngineMetrics
-	Faults    *FaultMetrics
+	// Round, Supervise, Engine, Faults and BidRegistry are the layer
+	// bundles.
+	Round       *RoundMetrics
+	Supervise   *SuperviseMetrics
+	Engine      *EngineMetrics
+	Faults      *FaultMetrics
+	BidRegistry *RegistryMetrics
 }
 
 // New returns an Observer with every bundle registered and a trace
@@ -277,12 +370,13 @@ type Observer struct {
 func New(traceCap int) *Observer {
 	r := NewRegistry()
 	return &Observer{
-		Registry:  r,
-		Trace:     NewTrace(traceCap),
-		Round:     NewRoundMetrics(r),
-		Supervise: NewSuperviseMetrics(r),
-		Engine:    NewEngineMetrics(r),
-		Faults:    NewFaultMetrics(r),
+		Registry:    r,
+		Trace:       NewTrace(traceCap),
+		Round:       NewRoundMetrics(r),
+		Supervise:   NewSuperviseMetrics(r),
+		Engine:      NewEngineMetrics(r),
+		Faults:      NewFaultMetrics(r),
+		BidRegistry: NewRegistryMetrics(r),
 	}
 }
 
@@ -317,6 +411,15 @@ func (o *Observer) FaultMetrics() *FaultMetrics {
 		return nil
 	}
 	return o.Faults
+}
+
+// RegistryMetrics returns the bid-registry bundle (nil on a nil
+// observer).
+func (o *Observer) RegistryMetrics() *RegistryMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.BidRegistry
 }
 
 // Emit forwards an event to the trace ring (no-op on a nil observer).

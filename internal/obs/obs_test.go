@@ -97,6 +97,10 @@ func TestNilSafety(t *testing.T) {
 	o.SuperviseMetrics().Excluded("audit", 2)
 	o.EngineMetrics().RunDone(true, 10)
 	o.FaultMetrics().Injected("drop")
+	o.RegistryMetrics().Mutated("update", true)
+	o.RegistryMetrics().Rebuilt()
+	o.RegistryMetrics().Sealed(5, 0.01)
+	o.RegistryMetrics().ReadSampled(0.001)
 	o.Emit(Event{Kind: "x"})
 
 	var tr *Trace
@@ -245,6 +249,9 @@ func TestObserverSchemaComplete(t *testing.T) {
 		"lb_supervise_retries_total",
 		"lb_mech_engine_runs_total",
 		"lb_fault_injections_total",
+		"lb_registry_epochs_sealed_total",
+		"lb_registry_coalesced_rebids_total",
+		"lb_registry_seal_seconds",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fresh observer export missing %s", want)

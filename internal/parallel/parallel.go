@@ -100,6 +100,39 @@ func forEach(n, workers int, stop *atomic.Bool, fn func(i int)) {
 	}
 }
 
+// ForEachBlock partitions [0, n) into contiguous blocks of the given
+// size and runs fn(lo, hi) for every block across workers. It is the
+// cache-blocked variant of ForEach for sweeps whose per-index work is
+// tiny (gathering a dense registry shard into an agent vector, filling
+// an allocation vector): handing each worker a contiguous range keeps
+// the accesses sequential and amortizes the dispatch overhead over the
+// whole block instead of paying it per index. A non-positive block
+// size uses DefaultBlock. Panic propagation and fast-fail follow
+// ForEach.
+func ForEachBlock(n, block, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	blocks := (n + block - 1) / block
+	ForEach(blocks, workers, func(b int) {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// DefaultBlock is the block size ForEachBlock uses when the caller
+// passes a non-positive one: 4096 float64-sized elements per block is
+// a few pages of sequential work, enough to hide the per-block
+// dispatch cost without starving the tail of parallelism.
+const DefaultBlock = 4096
+
 // Map applies fn to every index in [0, n) across workers and returns
 // the results in index order.
 func Map[T any](n, workers int, fn func(i int) T) []T {

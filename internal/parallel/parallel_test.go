@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -161,4 +162,51 @@ func TestForEachFastFailOnPanic(t *testing.T) {
 	if got := calls.Load(); got == n {
 		t.Errorf("all %d calls ran despite a panic at index 0", n)
 	}
+}
+
+func TestForEachBlockCoversAllIndicesOnce(t *testing.T) {
+	for _, block := range []int{1, 3, 64, 1000, 5000} {
+		const n = 1003
+		var hits [n]int32
+		ForEachBlock(n, block, 8, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("block=%d: bad range [%d, %d)", block, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("block=%d: index %d executed %d times", block, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachBlockDefaultBlockAndEmpty(t *testing.T) {
+	var total atomic.Int64
+	ForEachBlock(10, 0, 2, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	if total.Load() != 10 {
+		t.Errorf("default block covered %d indices, want 10", total.Load())
+	}
+	called := false
+	ForEachBlock(0, 8, 2, func(lo, hi int) { called = true })
+	ForEachBlock(-4, 8, 2, func(lo, hi int) { called = true })
+	if called {
+		t.Error("fn called for non-positive n")
+	}
+}
+
+func TestForEachBlockPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected re-panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "block boom") {
+			t.Errorf("panic value %v does not carry the worker panic", r)
+		}
+	}()
+	ForEachBlock(100, 10, 4, func(lo, hi int) { panic("block boom") })
 }

@@ -1,0 +1,281 @@
+package registry
+
+// Differential tests: W goroutines hammer the registry with adds,
+// rebids and removes while recording what they did; the recorded log
+// is then replayed serially through alloc.Stream, and the sealed
+// epoch must match the serial replay EXACTLY — same canonical S, same
+// allocation vector, same payment vector, bitwise — for every shard
+// and worker count. Run under -race (make check does) this doubles as
+// the registry's race test.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/mech"
+	"repro/internal/numeric"
+)
+
+// op is one recorded registry mutation.
+type op struct {
+	kind byte // 'a', 'u', 'r'
+	id   int
+	t    float64
+}
+
+// hammer runs workers concurrent goroutines of mixed traffic against
+// r, each owning the agents it added (so per-id histories are total
+// orders regardless of scheduling), and returns every worker's log.
+// When seals is true, an extra goroutine seals epochs throughout to
+// exercise the publish path under contention.
+func hammer(tb testing.TB, r *Registry, workers, opsPerWorker int, seals bool) [][]op {
+	tb.Helper()
+	logs := make([][]op, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0x9e3779b97f4a7c15))
+			var mine []int // ids this worker owns and has not removed
+			log := make([]op, 0, opsPerWorker)
+			for i := 0; i < opsPerWorker; i++ {
+				p := rng.Float64()
+				switch {
+				case p < 0.4 || len(mine) == 0:
+					t := 0.1 + 10*rng.Float64()
+					id, err := r.Add(t)
+					if err != nil {
+						tb.Errorf("worker %d: Add: %v", w, err)
+						return
+					}
+					mine = append(mine, id)
+					log = append(log, op{'a', id, t})
+				case p < 0.85:
+					id := mine[rng.IntN(len(mine))]
+					t := 0.1 + 10*rng.Float64()
+					if err := r.Update(id, t); err != nil {
+						tb.Errorf("worker %d: Update(%d): %v", w, id, err)
+						return
+					}
+					log = append(log, op{'u', id, t})
+				default:
+					j := rng.IntN(len(mine))
+					id := mine[j]
+					if err := r.Remove(id); err != nil {
+						tb.Errorf("worker %d: Remove(%d): %v", w, id, err)
+						return
+					}
+					mine[j] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					log = append(log, op{'r', id, 0})
+				}
+				// Interleave lock-free reads with the writes, and have
+				// one worker seal periodically so publishes race the
+				// other workers' mutations.
+				if seals && w == 0 && i%200 == 199 {
+					r.Seal()
+				}
+				if snap := r.Snapshot(); snap.N() > 0 {
+					ids := snap.IDs()
+					if _, ok := snap.Load(ids[rng.IntN(len(ids))]); !ok {
+						tb.Errorf("worker %d: sealed id missing from its own snapshot", w)
+						return
+					}
+				}
+			}
+			logs[w] = log
+		}(w)
+	}
+	wg.Wait()
+	return logs
+}
+
+// replay feeds the merged logs serially through a fresh alloc.Stream,
+// applying each agent's history in ascending registry-id order (every
+// id is owned by one worker, so its per-worker order is its total
+// order; distinct ids commute). It returns the stream plus the
+// registry-id list in the ascending order the stream saw them.
+func replay(tb testing.TB, rate float64, logs [][]op) *alloc.Stream {
+	tb.Helper()
+	maxID := -1
+	for _, log := range logs {
+		for _, o := range log {
+			if o.id > maxID {
+				maxID = o.id
+			}
+		}
+	}
+	byID := make([][]op, maxID+1)
+	for _, log := range logs {
+		for _, o := range log {
+			byID[o.id] = append(byID[o.id], o)
+		}
+	}
+	st, err := alloc.NewStream(rate)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for id, ops := range byID {
+		if len(ops) == 0 {
+			continue // id assigned by a worker that errored out
+		}
+		var sid int
+		for _, o := range ops {
+			switch o.kind {
+			case 'a':
+				sid, err = st.Add(o.t)
+			case 'u':
+				err = st.Update(sid, o.t)
+			case 'r':
+				err = st.Remove(sid)
+			}
+			if err != nil {
+				tb.Fatalf("replay of id %d: %v", id, err)
+			}
+		}
+	}
+	return st
+}
+
+func TestRegistryMatchesSerialStreamReplayExactly(t *testing.T) {
+	const rate = 20.0
+	for _, shards := range []int{1, 4, 32} {
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				r, err := New(Config{Rate: rate, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				logs := hammer(t, r, workers, 1500, true)
+				if t.Failed() {
+					return
+				}
+				snap := r.Seal()
+				st := replay(t, rate, logs)
+
+				// Sealed aggregate: bitwise equal to the serial
+				// canonical sum.
+				if got, want := snap.Sum(), st.Sealed(); got != want {
+					t.Errorf("sealed S = %v, want serial %v (diff %g)", got, want, got-want)
+				}
+				if snap.N() != st.N() {
+					t.Fatalf("sealed N = %d, want serial %d", snap.N(), st.N())
+				}
+				// And within drift tolerance of the delta-maintained
+				// running partials on both sides.
+				if !numeric.AlmostEqual(r.ApproxSum(), snap.Sum(), 1e-9, 1e-12) {
+					t.Errorf("registry running partial %g drifted from sealed %g", r.ApproxSum(), snap.Sum())
+				}
+
+				// Full allocation sweep: bitwise equal to the serial
+				// stream snapshot, element by element.
+				sids, sx := st.SnapshotInto(nil, nil)
+				var sw Sweep
+				x := sw.Alloc(snap, workers)
+				if len(x) != len(sx) {
+					t.Fatalf("allocation sweep length %d, want %d", len(x), len(sx))
+				}
+				vals := sw.Values(snap, workers)
+				for j := range x {
+					if x[j] != sx[j] {
+						t.Fatalf("x[%d] = %v, want serial %v", j, x[j], sx[j])
+					}
+					sv, _ := st.Value(sids[j])
+					if vals[j] != sv {
+						t.Fatalf("bid[%d] = %v, want serial %v", j, vals[j], sv)
+					}
+					// Per-agent O(1) snapshot loads agree bitwise with
+					// the sweep (same S, same expression).
+					if lx, ok := snap.Load(snap.IDs()[j]); !ok || lx != x[j] {
+						t.Fatalf("Load(%d) = %v/%v, want %v", snap.IDs()[j], lx, ok, x[j])
+					}
+				}
+
+				// Payment sweep: bitwise equal to the serial engine
+				// run over the stream's population.
+				if snap.N() < 2 {
+					return
+				}
+				regEng := mech.NewEngine(mech.CompensationBonus{})
+				o, err := sw.Payments(snap, regEng, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialEng := mech.NewEngine(mech.CompensationBonus{})
+				serialVals := make([]float64, len(sids))
+				for j, id := range sids {
+					serialVals[j], _ = st.Value(id)
+				}
+				so, err := serialEng.Run(mech.TruthfulInto(nil, serialVals), rate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range o.Payment {
+					if o.Payment[j] != so.Payment[j] || o.Compensation[j] != so.Compensation[j] || o.Bonus[j] != so.Bonus[j] {
+						t.Fatalf("payment[%d] = (%v, %v, %v), want serial (%v, %v, %v)",
+							j, o.Compensation[j], o.Bonus[j], o.Payment[j],
+							so.Compensation[j], so.Bonus[j], so.Payment[j])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
+	// Readers racing a sealer must always observe internally
+	// consistent snapshots: every id a snapshot lists resolves, and
+	// the listed population reproduces the sealed S exactly.
+	r, err := New(Config{Rate: 10, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		mustAdd(t, r, 1+float64(i%7))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				var k numeric.KahanSum
+				for _, id := range snap.IDs() {
+					v, ok := snap.Value(id)
+					if !ok {
+						t.Errorf("snapshot id %d does not resolve", id)
+						return
+					}
+					k.Add(1 / v)
+				}
+				if k.Value() != snap.Sum() {
+					t.Errorf("snapshot S %v does not match its own population sum %v", snap.Sum(), k.Value())
+					return
+				}
+				_ = rng
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		if err := r.Update(i%64, 0.5+float64(i%13)); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			r.Seal()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

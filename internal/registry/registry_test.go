@@ -1,0 +1,325 @@
+package registry
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/mech"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+func mustAdd(t *testing.T, r *Registry, v float64) int {
+	t.Helper()
+	id, err := r.Add(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestRegistryBasicLifecycle(t *testing.T) {
+	r, err := New(Config{Rate: 20, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot(); got == nil || got.N() != 0 || got.Epoch() != 1 {
+		t.Fatalf("fresh registry snapshot = %+v, want sealed empty epoch 1", got)
+	}
+	ids := make([]int, 0, 4)
+	for _, v := range []float64{1, 2, 5, 10} {
+		ids = append(ids, mustAdd(t, r, v))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Errorf("id %d assigned as %d, want monotone from 0", i, id)
+		}
+	}
+	if err := r.Update(ids[1], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Live(); got != 3 {
+		t.Errorf("Live = %d, want 3", got)
+	}
+
+	snap := r.Seal()
+	if snap.Epoch() != 2 {
+		t.Errorf("epoch = %d, want 2", snap.Epoch())
+	}
+	if snap.N() != 3 {
+		t.Fatalf("sealed N = %d, want 3", snap.N())
+	}
+	// Canonical S must be exactly the ascending-id compensated sum.
+	var k numeric.KahanSum
+	for _, v := range []float64{1, 4, 10} {
+		k.Add(1 / v)
+	}
+	if snap.Sum() != k.Value() {
+		t.Errorf("sealed S = %g, want %g", snap.Sum(), k.Value())
+	}
+	if v, ok := snap.Value(ids[1]); !ok || v != 4 {
+		t.Errorf("sealed bid of %d = %g/%v, want 4", ids[1], v, ok)
+	}
+	if _, ok := snap.Value(ids[2]); ok {
+		t.Error("removed agent still visible in sealed epoch")
+	}
+	x, ok := snap.Load(ids[0])
+	if !ok || x != snap.Rate()/(1*snap.Sum()) {
+		t.Errorf("Load = %g/%v, want R/(t*S)", x, ok)
+	}
+	if got, want := snap.OptimalLatency(), snap.Rate()*snap.Rate()/snap.Sum(); got != want {
+		t.Errorf("OptimalLatency = %g, want %g", got, want)
+	}
+	excl, ok := snap.ExclusionLatency(ids[0])
+	if want := snap.Rate() * snap.Rate() / (snap.Sum() - 1); !ok || excl != want {
+		t.Errorf("ExclusionLatency = %g/%v, want %g", excl, ok, want)
+	}
+
+	// Mutations after a seal do not disturb the published snapshot.
+	if err := r.Update(ids[0], 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snap.Value(ids[0]); v != 1 {
+		t.Errorf("sealed bid mutated to %g after post-seal update", v)
+	}
+}
+
+func TestRegistryErrorsMatchStreamContract(t *testing.T) {
+	r, err := New(Config{Rate: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ve *alloc.ValueError
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := r.Add(bad); !errors.As(err, &ve) {
+			t.Errorf("Add(%g) error = %v, want *alloc.ValueError", bad, err)
+		}
+	}
+	id := mustAdd(t, r, 2)
+	if err := r.Update(id, math.NaN()); !errors.As(err, &ve) {
+		t.Errorf("Update NaN error = %v, want *alloc.ValueError", err)
+	}
+	if err := r.Update(id+7, 1); err == nil {
+		t.Error("Update of unassigned id succeeded")
+	}
+	if err := r.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(id); err == nil {
+		t.Error("double Remove succeeded")
+	}
+	if err := r.SetRate(math.Inf(1)); !errors.As(err, &ve) {
+		t.Errorf("SetRate Inf error = %v, want *alloc.ValueError", err)
+	}
+	if _, err := New(Config{Rate: -3}); !errors.As(err, &ve) {
+		t.Errorf("New with negative rate error = %v, want *alloc.ValueError", err)
+	}
+}
+
+func TestRegistryEmptyAndRateEdgeCases(t *testing.T) {
+	r, err := New(Config{Rate: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Seal()
+	if got := snap.OptimalLatency(); !math.IsInf(got, 1) {
+		t.Errorf("empty optimum under positive rate = %g, want +Inf", got)
+	}
+	if err := r.SetRate(0); err != nil {
+		t.Fatal(err)
+	}
+	snap = r.Seal()
+	if got := snap.OptimalLatency(); got != 0 {
+		t.Errorf("empty optimum at rate 0 = %g, want 0", got)
+	}
+	if _, ok := snap.Load(0); ok {
+		t.Error("Load of absent id reported ok")
+	}
+	if _, _, ok := snap.Payment(0); ok {
+		t.Error("Payment of absent id reported ok")
+	}
+}
+
+func TestSealedAggregateIndependentOfShardCount(t *testing.T) {
+	// The same serial event sequence must seal to bitwise-identical
+	// aggregates and allocations for every shard count: the canonical
+	// reduction is over ascending ids, which sharding does not touch.
+	apply := func(shards int) *Snapshot {
+		r, err := New(Config{Rate: 20, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			mustAdd(t, r, 0.5+float64(i%17))
+		}
+		for i := 0; i < 300; i += 3 {
+			if err := r.Remove(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i < 300; i += 3 {
+			if err := r.Update(i, 1+float64(i%11)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.Seal()
+	}
+	ref := apply(1)
+	var refSweep Sweep
+	refX := append([]float64(nil), refSweep.Alloc(ref, 1)...)
+	for _, shards := range []int{2, 8, 64} {
+		snap := apply(shards)
+		if snap.Sum() != ref.Sum() {
+			t.Errorf("shards=%d: S = %g, want %g", shards, snap.Sum(), ref.Sum())
+		}
+		if snap.N() != ref.N() {
+			t.Fatalf("shards=%d: N = %d, want %d", shards, snap.N(), ref.N())
+		}
+		var sw Sweep
+		x := sw.Alloc(snap, 1)
+		for j := range x {
+			if x[j] != refX[j] {
+				t.Fatalf("shards=%d: x[%d] = %g, want %g", shards, j, x[j], refX[j])
+			}
+		}
+	}
+}
+
+func TestSweepAllocMatchesProportionalExactly(t *testing.T) {
+	r, err := New(Config{Rate: 20, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 97; i++ {
+		mustAdd(t, r, 0.25+float64(i%13))
+	}
+	snap := r.Seal()
+	var sw Sweep
+	vals := append([]float64(nil), sw.Values(snap, 2)...)
+	x := sw.Alloc(snap, 2)
+	want, err := alloc.Proportional(vals, snap.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x {
+		if x[j] != want[j] {
+			t.Fatalf("x[%d] = %g, want exactly %g", j, x[j], want[j])
+		}
+	}
+}
+
+func TestSnapshotPaymentMatchesEngine(t *testing.T) {
+	r, err := New(Config{Rate: 20, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10} {
+		mustAdd(t, r, v)
+	}
+	snap := r.Seal()
+	var sw Sweep
+	eng := mech.NewEngine(mech.CompensationBonus{})
+	o, err := sw.Payments(snap, eng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, id := range snap.IDs() {
+		comp, bonus, ok := snap.Payment(id)
+		if !ok {
+			t.Fatalf("Payment(%d) not ok", id)
+		}
+		if !numeric.AlmostEqual(comp, o.Compensation[j], 1e-9, 1e-12) {
+			t.Errorf("agent %d compensation: O(1) query %g vs engine %g", id, comp, o.Compensation[j])
+		}
+		if !numeric.AlmostEqual(bonus, o.Bonus[j], 1e-9, 1e-12) {
+			t.Errorf("agent %d bonus: O(1) query %g vs engine %g", id, bonus, o.Bonus[j])
+		}
+	}
+}
+
+func TestCoalescedRebidAccounting(t *testing.T) {
+	met := obs.NewRegistryMetrics(obs.NewRegistry())
+	r, err := New(Config{Rate: 5, Shards: 2, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustAdd(t, r, 2)
+	// First rebid after the add, same epoch: the added bid was never
+	// sealed, so the rebid coalesces with it.
+	if err := r.Update(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Coalesced.Value(); got != 1 {
+		t.Errorf("coalesced after same-epoch rebid = %d, want 1", got)
+	}
+	r.Seal()
+	// Post-seal rebid overwrites a sealed bid: not coalesced.
+	if err := r.Update(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Coalesced.Value(); got != 1 {
+		t.Errorf("coalesced after post-seal rebid = %d, want still 1", got)
+	}
+	// And a second rebid in the same open epoch coalesces again.
+	if err := r.Update(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Coalesced.Value(); got != 2 {
+		t.Errorf("coalesced after second same-epoch rebid = %d, want 2", got)
+	}
+	if got := met.Updates.Value(); got != 3 {
+		t.Errorf("updates = %d, want 3", got)
+	}
+	if got := met.Epochs.Value(); got != 2 { // New's seal + explicit
+		t.Errorf("epochs = %d, want 2", got)
+	}
+}
+
+func TestPartialRebuildCancelsDrift(t *testing.T) {
+	met := obs.NewRegistryMetrics(obs.NewRegistry())
+	r, err := New(Config{Rate: 5, Shards: 1, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustAdd(t, r, 3)
+	for i := 0; i < 3*rebuildEvery; i++ {
+		if err := r.Update(id, 0.1+float64(i%97)/7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if met.Rebuilds.Value() == 0 {
+		t.Error("no partial rebuild after 3*rebuildEvery mutations")
+	}
+	snap := r.Seal()
+	if got := r.ApproxSum(); !numeric.AlmostEqual(got, snap.Sum(), 1e-9, 1e-12) {
+		t.Errorf("running partial %g drifted from canonical %g", got, snap.Sum())
+	}
+}
+
+func TestSnapshotReadsZeroAllocs(t *testing.T) {
+	r, err := New(Config{Rate: 20, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		mustAdd(t, r, 1+float64(i%9))
+	}
+	r.Seal()
+	var sink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		snap := r.Snapshot()
+		x, _ := snap.Load(421)
+		e, _ := snap.ExclusionLatency(421)
+		c, b, _ := snap.Payment(421)
+		sink += x + e + c + b + snap.OptimalLatency()
+	})
+	if allocs != 0 {
+		t.Errorf("snapshot read path allocated %.1f/op, want 0", allocs)
+	}
+	_ = sink
+}

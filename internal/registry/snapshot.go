@@ -1,0 +1,118 @@
+package registry
+
+import "math"
+
+// Snapshot is one sealed epoch: the immutable live population, its
+// canonical aggregate S = Σ 1/b_i and the rate R frozen at seal time.
+// Every query below is O(1), lock-free and allocation-free — a
+// snapshot is never mutated after publication, so readers touch it
+// without coordination, and a reader holding an old snapshot keeps a
+// consistent (if stale) view for as long as it likes.
+type Snapshot struct {
+	epoch uint64
+	rate  float64
+	s     float64
+	ids   []int     // live ids, ascending
+	t     []float64 // id-indexed bid; 0 = absent
+	inv   []float64 // id-indexed 1/bid; 0 = absent
+}
+
+// Epoch returns the seal sequence number. New seals the empty
+// population as epoch 1, so published epochs are strictly positive
+// and increase by one per seal.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Rate returns the total arrival rate R frozen at seal time.
+func (s *Snapshot) Rate() float64 { return s.rate }
+
+// Sum returns the canonical sealed aggregate S = Σ 1/b_i (the
+// ascending-id Neumaier reduction; see the package comment).
+func (s *Snapshot) Sum() float64 { return s.s }
+
+// N returns the number of live agents in the sealed epoch.
+func (s *Snapshot) N() int { return len(s.ids) }
+
+// IDs returns the live ids in ascending order. The slice is owned by
+// the snapshot and must not be modified.
+func (s *Snapshot) IDs() []int { return s.ids }
+
+// Contains reports whether the agent was live in the sealed epoch.
+func (s *Snapshot) Contains(id int) bool {
+	return id >= 0 && id < len(s.inv) && s.inv[id] != 0
+}
+
+// Value returns the agent's sealed bid.
+func (s *Snapshot) Value(id int) (float64, bool) {
+	if !s.Contains(id) {
+		return 0, false
+	}
+	return s.t[id], true
+}
+
+// Load returns the agent's PR allocation x_i = R/(b_i·S) under the
+// sealed epoch — the same expression, against the same canonical S,
+// that alloc.ProportionalInto evaluates for the id-ordered bid
+// vector, so per-agent loads agree bitwise with a full serial
+// allocation.
+func (s *Snapshot) Load(id int) (float64, bool) {
+	if !s.Contains(id) {
+		return 0, false
+	}
+	return s.rate / (s.t[id] * s.s), true
+}
+
+// OptimalLatency returns the sealed system optimum L* = R²/S, +Inf
+// for an empty epoch under positive rate (0 at rate 0), matching
+// alloc.Stream.OptimalLatency.
+func (s *Snapshot) OptimalLatency() float64 {
+	if s.s == 0 {
+		if s.rate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s.rate * s.rate / s.s
+}
+
+// ExclusionLatency returns the sealed optimum of the system without
+// the agent — the L_{-i} term of the mechanism's bonus — in O(1),
+// matching alloc.Stream.ExclusionLatency evaluated at the canonical
+// aggregate.
+func (s *Snapshot) ExclusionLatency(id int) (float64, bool) {
+	if !s.Contains(id) {
+		return 0, false
+	}
+	rest := s.s - s.inv[id]
+	if rest <= 0 {
+		if s.rate == 0 {
+			return 0, true
+		}
+		return math.Inf(1), true
+	}
+	return s.rate * s.rate / rest, true
+}
+
+// Payment returns the agent's compensation-and-bonus payment under
+// the sealed epoch assuming truthful execution, in O(1): for the
+// linear model a truthful agent's compensation is l_i(x_i) = R/S and
+// its bonus is L*_{-i} − L* = R²/(S − 1/b_i) − R²/S. These closed
+// forms are algebraically equal to the mech.Engine payment run over
+// the sealed population, differing only in floating-point association
+// (the differential tests bound the gap); full sweeps that must match
+// the engine bitwise use Sweep.Payments instead.
+func (s *Snapshot) Payment(id int) (compensation, bonus float64, ok bool) {
+	if !s.Contains(id) {
+		return 0, 0, false
+	}
+	compensation = s.rate / s.s
+	lStar := s.rate * s.rate / s.s
+	rest := s.s - s.inv[id]
+	if rest <= 0 {
+		if s.rate == 0 {
+			return compensation, 0, true
+		}
+		return compensation, math.Inf(1), true
+	}
+	bonus = s.rate*s.rate/rest - lStar
+	return compensation, bonus, true
+}

@@ -1,0 +1,75 @@
+package registry
+
+import (
+	"repro/internal/mech"
+	"repro/internal/parallel"
+)
+
+// Sweep holds the reusable buffers of full-population operations over
+// sealed snapshots: the bid vector, the allocation vector and the
+// truthful agent population, all in ascending id order. A Sweep is
+// not safe for concurrent use — give each sweeping goroutine its own
+// (snapshots themselves may be shared freely).
+type Sweep struct {
+	vals   []float64
+	x      []float64
+	agents []mech.Agent
+}
+
+// Values gathers the sealed bids in ascending id order into the
+// sweep's reused buffer, fanning the gather out cache-blocked over
+// the given workers (<= 0 means GOMAXPROCS). The returned slice is
+// valid until the next call on this sweep.
+func (w *Sweep) Values(snap *Snapshot, workers int) []float64 {
+	n := snap.N()
+	if cap(w.vals) < n {
+		w.vals = make([]float64, n)
+	}
+	w.vals = w.vals[:n]
+	parallel.ForEachBlock(n, 0, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			w.vals[j] = snap.t[snap.ids[j]]
+		}
+	})
+	return w.vals
+}
+
+// Alloc fills the full PR allocation vector x_j = R/(b_j·S) for the
+// sealed population in ascending id order, cache-blocked across
+// workers. Because the sealed S is the canonical ascending-id
+// reduction, the result is bitwise-identical to
+// alloc.ProportionalInto over the id-ordered bid vector — and to a
+// serial alloc.Stream.SnapshotInto of the same population. The
+// returned slice is valid until the next call on this sweep.
+func (w *Sweep) Alloc(snap *Snapshot, workers int) []float64 {
+	n := snap.N()
+	if cap(w.x) < n {
+		w.x = make([]float64, n)
+	}
+	w.x = w.x[:n]
+	parallel.ForEachBlock(n, 0, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			w.x[j] = snap.rate / (snap.t[snap.ids[j]] * snap.s)
+		}
+	})
+	return w.x
+}
+
+// Payments runs a full compensation-and-bonus payment pass over the
+// sealed population, assuming truthful execution: the bids are
+// gathered cache-blocked into a truthful agent vector and handed to
+// the engine's O(n) leave-one-out machinery. The Outcome is owned by
+// the engine and invalidated by its next run, exactly as with a
+// direct engine call; errors (e.g. mech.ErrNeedTwoAgents for a
+// population under two) pass through.
+func (w *Sweep) Payments(snap *Snapshot, eng *mech.Engine, workers int) (*mech.Outcome, error) {
+	vals := w.Values(snap, workers)
+	if cap(w.agents) < len(vals) {
+		w.agents = make([]mech.Agent, len(vals))
+	}
+	w.agents = w.agents[:len(vals)]
+	parallel.ForEachBlock(len(vals), 0, workers, func(lo, hi int) {
+		mech.TruthfulInto(w.agents[lo:hi:hi], vals[lo:hi])
+	})
+	return eng.Run(w.agents, snap.rate)
+}

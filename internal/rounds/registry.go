@@ -1,0 +1,27 @@
+package rounds
+
+import "repro/internal/registry"
+
+// ComputersFromSnapshot builds a truthful round population from a
+// sealed registry epoch: one ComputerSpec per live agent in ascending
+// id order, with the sealed bid as the true value. It bridges the
+// concurrent serving path into the multi-round simulation machinery —
+// seal the live bid registry, then replay the frozen population
+// through the rounds engine (strategies, churn and policy can be
+// layered onto the returned slice afterwards).
+//
+// dst is reused when it has capacity, following the SnapshotInto
+// convention, so a server re-simulating every epoch does not allocate
+// in steady state.
+func ComputersFromSnapshot(dst []ComputerSpec, snap *registry.Snapshot) []ComputerSpec {
+	n := snap.N()
+	if cap(dst) < n {
+		dst = make([]ComputerSpec, n)
+	}
+	dst = dst[:n]
+	for j, id := range snap.IDs() {
+		v, _ := snap.Value(id)
+		dst[j] = ComputerSpec{True: v}
+	}
+	return dst
+}

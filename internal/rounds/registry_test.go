@@ -1,0 +1,62 @@
+package rounds
+
+import (
+	"testing"
+
+	"repro/internal/registry"
+)
+
+func TestComputersFromSnapshot(t *testing.T) {
+	r, err := registry.New(registry.Config{Rate: 20, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 5, 10, 10, 2}
+	ids := make([]int, 0, len(want))
+	for _, v := range want {
+		id, err := r.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := r.Remove(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want[:3], want[4:]...)
+	snap := r.Seal()
+
+	pop := ComputersFromSnapshot(nil, snap)
+	if len(pop) != len(want) {
+		t.Fatalf("population size %d, want %d", len(pop), len(want))
+	}
+	for j, c := range pop {
+		if c.True != want[j] {
+			t.Errorf("computer %d true = %g, want %g", j, c.True, want[j])
+		}
+		if c.Strategy != nil || c.JoinRound != 0 || c.LeaveRound != 0 {
+			t.Errorf("computer %d not a plain truthful round-0 spec: %+v", j, c)
+		}
+	}
+
+	// Buffer reuse: a spare-capacity dst keeps its backing array.
+	big := make([]ComputerSpec, 0, 64)
+	pop2 := ComputersFromSnapshot(big, snap)
+	if &pop2[0] != &big[:1][0] {
+		t.Error("dst with capacity was not reused")
+	}
+
+	// The sealed population drives the rounds engine directly.
+	res, err := Run(Config{
+		Computers: pop,
+		Rate:      snap.Rate(),
+		Rounds:    2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 || len(res.Records[0].Active) != len(want) {
+		t.Fatalf("round records %+v, want 2 rounds of %d active", res.Records, len(want))
+	}
+}
