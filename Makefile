@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check fuzz difftest bench bench-rounds bench-registry
+.PHONY: build test vet lint race check fuzz difftest chaos bench bench-rounds bench-registry
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ check: lint difftest race
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/supervise
+	$(GO) test -run=^$$ -fuzz=FuzzControllerInvariants -fuzztime=30s ./internal/health
+
+# Chaos gate: the supervise fault-plan matrix, the health controller's
+# 32-seed replication suite (ejection budgets, zero false positives,
+# replay-identical corrected epochs), and the lbserve -health demo
+# under a crash+flap plan as an end-to-end smoke.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 ./internal/supervise ./internal/health
+	$(GO) run ./cmd/lbserve -health -plan 'crash=1,flap=3@8:0.75' -ticks 60 -fault-until 35
 
 # Record the payment-engine and parallel-distribution baselines as
 # stable JSON (commit BENCH_mech.json to track regressions).

@@ -1,0 +1,157 @@
+package main
+
+// The -health mode: a chaos demo of the serving control loop. A small
+// population is registered with the registry and the health
+// controller, a deterministic fault plan (crash, stall, Byzantine,
+// flapping — see internal/faults) is injected over a configurable
+// window, and the controller's per-tick verification drives the
+// degrade → eject → probe → slow-start arc live on stdout: every
+// state transition as an event line, periodic state-table snapshots
+// with each computer's corrected traffic share, and a final census.
+// Everything is seeded, so the same flags replay the same story.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/faults"
+	"repro/internal/health"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/report"
+)
+
+type healthConfig struct {
+	computers  int
+	ticks      int
+	plan       string
+	faultFrom  int
+	faultUntil int
+	seed       uint64
+	rate       float64
+	shards     int
+	every      int
+	ob         *obs.Observer
+}
+
+// runHealth executes the chaos demo and returns an exit code.
+func runHealth(cfg healthConfig, w io.Writer) int {
+	if cfg.computers < 2 || cfg.ticks <= 0 {
+		fmt.Fprintln(os.Stderr, "lbserve: need -computers >= 2 and -ticks > 0")
+		return 1
+	}
+	plan, err := faults.ParseSpec(cfg.plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		return 1
+	}
+	var inj faults.Injector
+	if plan != nil {
+		inj = faults.Reseed(plan, cfg.seed)
+	}
+
+	reg, err := registry.New(registry.Config{Rate: cfg.rate, Shards: cfg.shards})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		return 1
+	}
+	src := health.NewSource(cfg.seed, inj, health.SourceConfig{
+		FaultFrom:  cfg.faultFrom,
+		FaultUntil: cfg.faultUntil,
+	})
+	ctl := health.New(health.Config{}, reg, cfg.ob)
+
+	for i := 0; i < cfg.computers; i++ {
+		declared := 2 + 0.5*float64(i)
+		id, err := reg.Add(declared)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve:", err)
+			return 1
+		}
+		src.Add(id, declared)
+		if err := ctl.Track(id, declared); err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve:", err)
+			return 1
+		}
+	}
+
+	hc := ctl.Config()
+	fmt.Fprintf(w, "Health control loop: %d computers, %d ticks, plan %q active [%d, %s).\n",
+		cfg.computers, cfg.ticks, cfg.plan, cfg.faultFrom, untilLabel(cfg.faultUntil))
+	fmt.Fprintf(w, "Policy: max_fails %d/%d ticks, fail_timeout %d, recover streak %d, slow-start %.2f over %d ticks.\n\n",
+		hc.MaxFails, hc.FailWindow, hc.FailTimeout, hc.RecoverStreak, hc.SlowStartWeight, hc.SlowStartTicks)
+
+	var sealed *registry.Snapshot
+	corrected := 0
+	for tick := 1; tick <= cfg.ticks; tick++ {
+		rep := ctl.Tick(src.Tick(tick))
+		for _, tr := range rep.Transitions {
+			z := "-"
+			if !math.IsNaN(tr.Z) {
+				z = fmt.Sprintf("z=%.1f", tr.Z)
+			}
+			fmt.Fprintf(w, "tick %3d  computer %d  %s -> %s  (%s %s)\n",
+				tr.Tick, tr.ID, tr.From, tr.To, tr.Reason, z)
+		}
+		if rep.Sealed != nil {
+			sealed = rep.Sealed
+			corrected++
+		}
+		if cfg.every > 0 && tick%cfg.every == 0 {
+			stateTable(ctl, sealed, tick).Render(w)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if cfg.every <= 0 || cfg.ticks%cfg.every != 0 {
+		stateTable(ctl, sealed, cfg.ticks).Render(w)
+	}
+	healthy := 0
+	for _, id := range ctl.Tracked() {
+		if st, _, _ := ctl.State(id); st == health.Healthy {
+			healthy++
+		}
+	}
+	epoch := uint64(0)
+	if sealed != nil {
+		epoch = sealed.Epoch()
+	}
+	fmt.Fprintf(w, "\n%d/%d computers healthy after %d ticks; %d corrected epochs sealed (last epoch %d).\n",
+		healthy, cfg.computers, cfg.ticks, corrected, epoch)
+	return 0
+}
+
+// stateTable renders the live census: per computer its state, serving
+// weight and traffic share under the last corrected epoch.
+func stateTable(ctl *health.Controller, sealed *registry.Snapshot, tick int) *report.Table {
+	tab := report.NewTable(
+		fmt.Sprintf("State at tick %d:", tick),
+		"Computer", "State", "Weight", "Traffic share")
+	for _, id := range ctl.Tracked() {
+		st, weight, _ := ctl.State(id)
+		share := "-"
+		if sealed != nil {
+			if x, ok := sealed.Load(id); ok && sealed.Rate() > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*x/sealed.Rate())
+			} else if !ok {
+				share = "0% (out)"
+			}
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", id),
+			st.String(),
+			fmt.Sprintf("%.2f", weight),
+			share,
+		)
+	}
+	return tab
+}
+
+func untilLabel(until int) string {
+	if until <= 0 {
+		return "end"
+	}
+	return fmt.Sprintf("%d", until)
+}

@@ -13,6 +13,14 @@
 //	lbserve -agents 1000000 -shards 64 -read-frac 0.99 -metrics
 //	lbserve -ops 5000000 -cpuprofile cpu.out -memprofile mem.out
 //
+// With -health the command instead runs the self-healing chaos demo:
+// a small population under a deterministic fault plan, the
+// internal/health control loop verifying every tick, and the
+// degrade → eject → probe → slow-start story printed live:
+//
+//	lbserve -health
+//	lbserve -health -plan crash=1,flap=5@6:0.5 -ticks 80 -fault-until 45
+//
 // Throughput scales with worker count only up to the host's cores:
 // on a single-core box the sweep stays flat (see README, "Concurrent
 // serving").
@@ -48,7 +56,41 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON then Prometheus text) after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	healthMode := flag.Bool("health", false, "run the health control-loop chaos demo instead of the throughput sweep")
+	computers := flag.Int("computers", 8, "population size of the -health demo")
+	ticks := flag.Int("ticks", 80, "control ticks the -health demo runs")
+	plan := flag.String("plan", "crash=1,stall=3@0.5:1,byz=5@1.6,flap=6@8:0.75", "fault plan of the -health demo (internal/faults spec)")
+	faultFrom := flag.Int("fault-from", 5, "first tick the -health fault plan is active")
+	faultUntil := flag.Int("fault-until", 45, "first tick the -health faults are repaired (0 = never)")
+	healthEvery := flag.Int("health-every", 20, "ticks between -health state tables (0 = final only)")
 	flag.Parse()
+
+	if *healthMode {
+		var ob *obs.Observer
+		if *metrics {
+			ob = obs.New(0)
+		}
+		code := runHealth(healthConfig{
+			computers:  *computers,
+			ticks:      *ticks,
+			plan:       *plan,
+			faultFrom:  *faultFrom,
+			faultUntil: *faultUntil,
+			seed:       *seed,
+			rate:       *rate,
+			shards:     *shards,
+			every:      *healthEvery,
+			ob:         ob,
+		}, os.Stdout)
+		if code == 0 && *metrics {
+			fmt.Println()
+			if err := ob.Dump(os.Stdout, true, false); err != nil {
+				fmt.Fprintln(os.Stderr, "lbserve:", err)
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	workers, err := parseWorkers(*workersSpec)
 	if err != nil {

@@ -43,6 +43,15 @@ const (
 	// NodeByzantine over-claims its self-computed payment by the
 	// plan's claim factor — the fault the parent audit must catch.
 	NodeByzantine
+	// NodeFlapping alternates deterministically between healthy and
+	// stalled: within every period of `period` ticks the node is
+	// stalled for the first duty·period ticks. Consumers with a tick
+	// notion (round index, control interval, attempt number) resolve
+	// the phase through FlapPhase; consumers without one see the class
+	// and treat it as healthy. This is the fault that exercises
+	// hysteresis in health controllers — a flapping node trips and
+	// recovers forever unless the trip/recover thresholds differ.
+	NodeFlapping
 )
 
 // String names the class.
@@ -58,6 +67,8 @@ func (c NodeClass) String() string {
 		return "stalled"
 	case NodeByzantine:
 		return "byzantine"
+	case NodeFlapping:
+		return "flapping"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -120,6 +131,8 @@ type nodeFault struct {
 	stallDelay  float64
 	stallEvery  int
 	claimFactor float64
+	flapPeriod  int
+	flapDuty    float64
 }
 
 // Plan is the concrete, composable Injector. The zero value and the
@@ -208,6 +221,32 @@ func Stall(delay float64, every int, nodes ...int) Option {
 			f.class = NodeStalled
 			f.stallDelay = delay
 			f.stallEvery = every
+			p.nodes[n] = f
+		}
+	}
+}
+
+// Flap marks nodes that alternate healthy/stalled deterministically:
+// within each period of `period` ticks the node is stalled — with the
+// legacy stall magnitude every send — for the first duty·period
+// ticks. period <= 0 defaults to 4 ticks; duty is clamped to (0, 1)
+// and defaults to 0.5. The phase is resolved against a consumer-
+// supplied tick via FlapPhase.
+func Flap(period int, duty float64, nodes ...int) Option {
+	if period <= 0 {
+		period = 4
+	}
+	if duty <= 0 || duty >= 1 || duty != duty {
+		duty = 0.5
+	}
+	return func(p *Plan) {
+		for _, n := range nodes {
+			f := p.node(n)
+			f.class = NodeFlapping
+			f.flapPeriod = period
+			f.flapDuty = duty
+			f.stallDelay = 1000
+			f.stallEvery = 1
 			p.nodes[n] = f
 		}
 	}
@@ -335,6 +374,109 @@ func (p *Plan) ClaimFactor(node int) float64 {
 	return f.claimFactor
 }
 
+// Flapper is the optional interface of injectors that carry flapping
+// nodes. It is separate from Injector so existing implementations
+// (including test doubles) keep compiling; consumers go through the
+// package-level FlapSpec and FlapPhase helpers, which degrade to
+// "no flapping" on injectors without it.
+type Flapper interface {
+	// FlapSpec reports node's flap schedule: the period in ticks, the
+	// stalled duty fraction, and the stall delay applied per send
+	// during the stalled phase. period == 0 means the node does not
+	// flap.
+	FlapSpec(node int) (period int, duty, delay float64)
+}
+
+// FlapSpec implements Flapper.
+func (p *Plan) FlapSpec(node int) (int, float64, float64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	f := p.nodes[node]
+	if f.class != NodeFlapping {
+		return 0, 0, 0
+	}
+	return f.flapPeriod, f.flapDuty, f.stallDelay
+}
+
+// FlapSpec queries inj's flap schedule for node, returning period 0
+// when the injector carries none (or does not implement Flapper).
+func FlapSpec(inj Injector, node int) (period int, duty, delay float64) {
+	if fl, ok := inj.(Flapper); ok {
+		return fl.FlapSpec(node)
+	}
+	return 0, 0, 0
+}
+
+// FlapStalled reports whether a flapping node is in its stalled phase
+// at the given tick: tick mod period falls inside the first
+// duty·period ticks of the period. Non-flapping nodes are never
+// stalled. Negative ticks are treated as 0.
+func FlapStalled(inj Injector, node, tick int) bool {
+	period, duty, _ := FlapSpec(inj, node)
+	if period <= 0 {
+		return false
+	}
+	if tick < 0 {
+		tick = 0
+	}
+	return float64(tick%period) < duty*float64(period)
+}
+
+// FlapPhase resolves flapping nodes at one tick into the static
+// vocabulary every transport already understands: the returned
+// injector reports a flapping node as NodeStalled (with its stall
+// schedule) during its stalled phase and as NodeHealthy otherwise.
+// All other behaviour delegates to inj. Wrapping per round / attempt /
+// control interval is how rounds, supervise and health make flapping
+// nodes actually flap.
+func FlapPhase(inj Injector, tick int) Injector {
+	if inj == nil {
+		return None
+	}
+	if fl, ok := inj.(Flapper); !ok || fl == nil {
+		return inj
+	}
+	return &flapPhase{inner: inj, tick: tick}
+}
+
+// flapPhase is the FlapPhase view: one tick's resolution of flapping
+// nodes.
+type flapPhase struct {
+	inner Injector
+	tick  int
+}
+
+func (f *flapPhase) Deliver(m Message) Decision { return f.inner.Deliver(m) }
+
+func (f *flapPhase) Class(node int) NodeClass {
+	c := f.inner.Class(node)
+	if c != NodeFlapping {
+		return c
+	}
+	if FlapStalled(f.inner, node, f.tick) {
+		return NodeStalled
+	}
+	return NodeHealthy
+}
+
+func (f *flapPhase) Stall(node int) (float64, int) {
+	if f.inner.Class(node) == NodeFlapping {
+		if FlapStalled(f.inner, node, f.tick) {
+			_, _, delay := FlapSpec(f.inner, node)
+			return delay, 1
+		}
+		return 0, 0
+	}
+	return f.inner.Stall(node)
+}
+
+func (f *flapPhase) ClaimFactor(node int) float64 { return f.inner.ClaimFactor(node) }
+
+func (f *flapPhase) Reseed(salt uint64) Injector {
+	return &flapPhase{inner: Reseed(f.inner, salt), tick: f.tick}
+}
+
 // Reseed implements Reseeder: same node faults, re-keyed message
 // decisions.
 func (p *Plan) Reseed(salt uint64) Injector {
@@ -381,7 +523,7 @@ func (p *Plan) String() string {
 			byClass[f.class] = append(byClass[f.class], n)
 		}
 	}
-	for _, c := range []NodeClass{NodeCrashed, NodeSilent, NodeStalled, NodeByzantine} {
+	for _, c := range []NodeClass{NodeCrashed, NodeSilent, NodeStalled, NodeByzantine, NodeFlapping} {
 		ns := byClass[c]
 		if len(ns) == 0 {
 			continue
@@ -398,6 +540,9 @@ func (p *Plan) String() string {
 		case NodeByzantine:
 			f := p.nodes[ns[0]]
 			add("byz=%s@%g", joinNodes(ns), f.claimFactor)
+		case NodeFlapping:
+			f := p.nodes[ns[0]]
+			add("flap=%s@%d:%g", joinNodes(ns), f.flapPeriod, f.flapDuty)
 		}
 	}
 	return strings.Join(parts, ",")
@@ -478,6 +623,15 @@ func (m merged) ClaimFactor(node int) float64 {
 	return 1
 }
 
+func (m merged) FlapSpec(node int) (int, float64, float64) {
+	for _, in := range m {
+		if p, d, s := FlapSpec(in, node); p > 0 {
+			return p, d, s
+		}
+	}
+	return 0, 0, 0
+}
+
 func (m merged) Reseed(salt uint64) Injector {
 	out := make(merged, len(m))
 	for i, in := range m {
@@ -538,6 +692,10 @@ func (r *remapped) Class(node int) NodeClass { return r.inner.Class(r.translate(
 func (r *remapped) Stall(node int) (float64, int) { return r.inner.Stall(r.translate(node)) }
 
 func (r *remapped) ClaimFactor(node int) float64 { return r.inner.ClaimFactor(r.translate(node)) }
+
+func (r *remapped) FlapSpec(node int) (int, float64, float64) {
+	return FlapSpec(r.inner, r.translate(node))
+}
 
 func (r *remapped) Reseed(salt uint64) Injector {
 	return &remapped{inner: Reseed(r.inner, salt), orig: r.orig}

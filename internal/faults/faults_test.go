@@ -242,3 +242,96 @@ func TestSpecErrorsAndDefaults(t *testing.T) {
 		}
 	}
 }
+
+func TestFlapSpecAndPhase(t *testing.T) {
+	p := New(1, Flap(6, 0.5, 3), Crash(1))
+	if p.Class(3) != NodeFlapping {
+		t.Fatalf("Class(3) = %v, want flapping", p.Class(3))
+	}
+	if period, duty, delay := p.FlapSpec(3); period != 6 || duty != 0.5 || delay != 1000 {
+		t.Fatalf("FlapSpec(3) = %d,%g,%g", period, duty, delay)
+	}
+	if period, _, _ := p.FlapSpec(1); period != 0 {
+		t.Fatalf("crashed node reports a flap spec")
+	}
+	// Duty 0.5 over period 6: stalled at phases 0,1,2 and healthy at
+	// 3,4,5 of every period, deterministically.
+	for tick := 0; tick < 24; tick++ {
+		want := tick%6 < 3
+		if got := FlapStalled(p, 3, tick); got != want {
+			t.Fatalf("FlapStalled(3, %d) = %v, want %v", tick, got, want)
+		}
+		view := FlapPhase(p, tick)
+		wantClass := NodeHealthy
+		if want {
+			wantClass = NodeStalled
+		}
+		if got := view.Class(3); got != wantClass {
+			t.Fatalf("FlapPhase(%d).Class(3) = %v, want %v", tick, got, wantClass)
+		}
+		delay, every := view.Stall(3)
+		if want && (delay != 1000 || every != 1) {
+			t.Fatalf("FlapPhase(%d).Stall(3) = %g,%d, want 1000,1", tick, delay, every)
+		}
+		if !want && every != 0 {
+			t.Fatalf("FlapPhase(%d).Stall(3) active in healthy phase", tick)
+		}
+		// Non-flapping nodes pass through unchanged.
+		if view.Class(1) != NodeCrashed {
+			t.Fatalf("FlapPhase changed the class of a crashed node")
+		}
+	}
+}
+
+func TestFlapSurvivesMergeRemapReseed(t *testing.T) {
+	p := New(1, Flap(4, 0.25, 7))
+	m := Merge(p, New(2, Drop(0.1)))
+	if period, duty, _ := FlapSpec(m, 7); period != 4 || duty != 0.25 {
+		t.Fatalf("merged FlapSpec = %d,%g", period, duty)
+	}
+	// Remap: local node 0 is original node 7.
+	r := Remap(m, []int{7})
+	if period, _, _ := FlapSpec(r, 0); period != 4 {
+		t.Fatalf("remapped FlapSpec lost the schedule")
+	}
+	if FlapStalled(r, 0, 0) != true || FlapStalled(r, 0, 1) != false {
+		t.Fatalf("remapped flap phase wrong")
+	}
+	rs := Reseed(r, 9)
+	if period, _, _ := FlapSpec(rs, 0); period != 4 {
+		t.Fatalf("reseeded FlapSpec lost the schedule")
+	}
+	// FlapPhase resolves the class, so the view must not re-report a
+	// flap spec: double resolution would double-stall.
+	view := FlapPhase(p, 0)
+	if period, _, _ := FlapSpec(view, 7); period != 0 {
+		t.Fatalf("FlapPhase view still reports a flap spec")
+	}
+	if reseeded := view.(Reseeder).Reseed(3); reseeded.Class(7) != NodeStalled {
+		t.Fatalf("reseeded FlapPhase view lost the resolved phase")
+	}
+}
+
+func TestFlapSpecStringRoundTrip(t *testing.T) {
+	p, err := ParseSpec("seed=5,flap=2+9@8:0.25,crash=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 9} {
+		if period, duty, _ := p.FlapSpec(n); period != 8 || duty != 0.25 {
+			t.Fatalf("FlapSpec(%d) = %d,%g, want 8,0.25", n, period, duty)
+		}
+	}
+	q, err := ParseSpec(p.String())
+	if err != nil {
+		t.Fatalf("canonical spec %q did not parse: %v", p.String(), err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip %q -> %q", p.String(), q.String())
+	}
+	for _, bad := range []string{"flap=", "flap=1@0", "flap=1@4:1.5", "flap=1@4:0"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 //	silent=I+J+...      nodes that never respond (strategic)
 //	stall=I+J[@D[:K]]   stalled nodes: +D seconds every K-th send
 //	byz=I+J[@F]         nodes over-claiming payments by factor F
+//	flap=I+J[@P[:D]]    flapping nodes: stalled for the first D·P
+//	                    ticks of every P-tick period (see FlapPhase)
 //
 // Example: "seed=42,drop=0.05,crash=3+7,byz=5@1.2". The empty string
 // and "none" parse to a plan that injects nothing.
@@ -105,6 +107,27 @@ func ParseSpec(spec string) (*Plan, error) {
 				}
 			}
 			opts = append(opts, Stall(delay, every, nodes...))
+		case "flap":
+			nodesStr, rest, hasRest := strings.Cut(val, "@")
+			nodes, err := parseNodes(key, nodesStr)
+			if err != nil {
+				return nil, err
+			}
+			period, duty := 0, 0.0
+			if hasRest {
+				periodStr, dutyStr, hasDuty := strings.Cut(rest, ":")
+				period, err = strconv.Atoi(periodStr)
+				if err != nil || period <= 0 {
+					return nil, fmt.Errorf("faults: bad flap period %q", periodStr)
+				}
+				if hasDuty {
+					duty, err = strconv.ParseFloat(dutyStr, 64)
+					if err != nil || duty <= 0 || duty >= 1 {
+						return nil, fmt.Errorf("faults: bad flap duty %q (want 0<duty<1)", dutyStr)
+					}
+				}
+			}
+			opts = append(opts, Flap(period, duty, nodes...))
 		case "byz":
 			nodesStr, factorStr, hasFactor := strings.Cut(val, "@")
 			nodes, err := parseNodes(key, nodesStr)

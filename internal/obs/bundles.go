@@ -1,5 +1,7 @@
 package obs
 
+import "math"
+
 // This file defines the per-layer instrumentation bundles: one struct
 // of metrics per instrumented subsystem, registered under stable
 // Prometheus-style names, with nil-safe recording methods so a layer
@@ -346,6 +348,107 @@ func (m *RegistryMetrics) ReadSampled(seconds float64) {
 	m.ReadSeconds.Observe(seconds)
 }
 
+// HealthMetrics instruments the health controller's serving control
+// loop: per-state population gauges, state-transition counters by
+// reason, verify-verdict counters and z-score histograms, and the
+// corrected-epoch seal stream.
+type HealthMetrics struct {
+	// Healthy..Probing gauge the tracked population by state as of the
+	// last control tick.
+	Healthy, Suspect, Degraded, Ejected, Probing *Gauge
+	// Capacity gauges the aggregate effective capacity fraction: the
+	// weight-discounted live share of the tracked population's full
+	// capacity (1 when everyone is healthy at full weight).
+	Capacity *Gauge
+	// Transitions counts state transitions by reason (verify-fail,
+	// max-fails, two-strike, audit-two-strike, recovered, fail-timeout,
+	// probe-fail, probe-timeout, reinstated).
+	Transitions *CounterVec
+	// Verdicts counts per-observation verify outcomes (pass, dead-band,
+	// fail, invalid, silent).
+	Verdicts *CounterVec
+	// ZScores observes every finite verification z-score, so the
+	// distance between the trip and recover thresholds is visible in
+	// the exported distribution.
+	ZScores *Histogram
+	// CorrectedEpochs counts health-corrected epochs sealed;
+	// Ejections and Reinstatements count the loop's terminal actions.
+	CorrectedEpochs, Ejections, Reinstatements *Counter
+}
+
+// zScoreBuckets spans the hysteresis band: recover thresholds sit
+// around 1, trip thresholds around 3-4, runaway deviations beyond.
+var zScoreBuckets = []float64{-4, -3, -2, -1, 0, 0.5, 1, 2, 3, 4, 6, 8, 12, 20}
+
+// NewHealthMetrics registers the health-controller bundle on r.
+func NewHealthMetrics(r *Registry) *HealthMetrics {
+	if r == nil {
+		return nil
+	}
+	return &HealthMetrics{
+		Healthy:         r.Gauge("lb_health_state_healthy", "tracked computers in state healthy"),
+		Suspect:         r.Gauge("lb_health_state_suspect", "tracked computers in state suspect"),
+		Degraded:        r.Gauge("lb_health_state_degraded", "tracked computers in state degraded"),
+		Ejected:         r.Gauge("lb_health_state_ejected", "tracked computers in state ejected"),
+		Probing:         r.Gauge("lb_health_state_probing", "tracked computers in state probing"),
+		Capacity:        r.Gauge("lb_health_capacity_fraction", "weight-discounted live capacity fraction"),
+		Transitions:     r.CounterVec("lb_health_transitions_total", "state transitions by reason", "reason"),
+		Verdicts:        r.CounterVec("lb_health_verdicts_total", "verification verdicts by outcome", "verdict"),
+		ZScores:         r.Histogram("lb_health_zscore", "verification z-scores", zScoreBuckets),
+		CorrectedEpochs: r.Counter("lb_health_corrected_epochs_total", "health-corrected registry epochs sealed"),
+		Ejections:       r.Counter("lb_health_ejections_total", "computers ejected from serving"),
+		Reinstatements:  r.Counter("lb_health_reinstatements_total", "computers reinstated via slow-start"),
+	}
+}
+
+// States records the per-state population and the aggregate effective
+// capacity fraction after one control tick.
+func (m *HealthMetrics) States(healthy, suspect, degraded, ejected, probing int, capacity float64) {
+	if m == nil {
+		return
+	}
+	m.Healthy.Set(float64(healthy))
+	m.Suspect.Set(float64(suspect))
+	m.Degraded.Set(float64(degraded))
+	m.Ejected.Set(float64(ejected))
+	m.Probing.Set(float64(probing))
+	m.Capacity.Set(capacity)
+}
+
+// Transitioned records one state transition and its terminal action.
+func (m *HealthMetrics) Transitioned(reason string, ejected, reinstated bool) {
+	if m == nil {
+		return
+	}
+	m.Transitions.With(reason).Inc()
+	if ejected {
+		m.Ejections.Inc()
+	}
+	if reinstated {
+		m.Reinstatements.Inc()
+	}
+}
+
+// VerdictObserved records one per-observation verify outcome and, for
+// finite z, the z-score itself.
+func (m *HealthMetrics) VerdictObserved(verdict string, z float64) {
+	if m == nil {
+		return
+	}
+	m.Verdicts.With(verdict).Inc()
+	if !math.IsNaN(z) && !math.IsInf(z, 0) {
+		m.ZScores.Observe(z)
+	}
+}
+
+// CorrectedSealed records one health-corrected epoch seal.
+func (m *HealthMetrics) CorrectedSealed() {
+	if m == nil {
+		return
+	}
+	m.CorrectedEpochs.Inc()
+}
+
 // Observer bundles a registry, a trace ring and every layer bundle,
 // so a CLI can enable full observability with one value and each
 // layer can pull its slice. A nil *Observer disables everything.
@@ -354,13 +457,14 @@ type Observer struct {
 	Registry *Registry
 	// Trace is the shared event ring.
 	Trace *Trace
-	// Round, Supervise, Engine, Faults and BidRegistry are the layer
-	// bundles.
+	// Round, Supervise, Engine, Faults, BidRegistry and Health are the
+	// layer bundles.
 	Round       *RoundMetrics
 	Supervise   *SuperviseMetrics
 	Engine      *EngineMetrics
 	Faults      *FaultMetrics
 	BidRegistry *RegistryMetrics
+	Health      *HealthMetrics
 }
 
 // New returns an Observer with every bundle registered and a trace
@@ -377,6 +481,7 @@ func New(traceCap int) *Observer {
 		Engine:      NewEngineMetrics(r),
 		Faults:      NewFaultMetrics(r),
 		BidRegistry: NewRegistryMetrics(r),
+		Health:      NewHealthMetrics(r),
 	}
 }
 
@@ -420,6 +525,15 @@ func (o *Observer) RegistryMetrics() *RegistryMetrics {
 		return nil
 	}
 	return o.BidRegistry
+}
+
+// HealthMetrics returns the health-controller bundle (nil on a nil
+// observer).
+func (o *Observer) HealthMetrics() *HealthMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Health
 }
 
 // Emit forwards an event to the trace ring (no-op on a nil observer).

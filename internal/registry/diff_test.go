@@ -10,6 +10,7 @@ package registry
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -278,4 +279,187 @@ func TestConcurrentReadersSeeConsistentEpochs(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestCorrectedSealMatchesSerialReplayExactly pins the corrected-epoch
+// protocol: a SealCorrected over a concurrently-built population must
+// be bitwise identical to a serial alloc.Stream replay in which the
+// dropped ids were removed and the weighted ids rebid at t/weight —
+// for every shard and worker count. Run under -race (make check does)
+// this also races corrected seals against writers.
+func TestCorrectedSealMatchesSerialReplayExactly(t *testing.T) {
+	const rate = 20.0
+	for _, shards := range []int{1, 4, 32} {
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				r, err := New(Config{Rate: rate, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				logs := hammer(t, r, workers, 1200, true)
+				if t.Failed() {
+					return
+				}
+
+				// Build a deterministic correction over the live ids:
+				// every 5th live id is dropped, every 3rd discounted.
+				live := r.Seal().IDs()
+				corr := &Correction{Weights: map[int]float64{}, Drop: map[int]bool{}}
+				for j, id := range live {
+					switch {
+					case j%5 == 0:
+						corr.Drop[id] = true
+					case j%3 == 0:
+						corr.Weights[id] = 0.5
+					}
+				}
+				// Dropping or weighting dead ids must be ignored, and a
+				// dropped id must win over its weight.
+				corr.Drop[1<<30] = true
+				corr.Weights[1<<30] = 0.25
+				if len(live) > 0 {
+					corr.Weights[live[0]] = 0.25 // live[0] is also dropped
+				}
+
+				snap, err := r.SealCorrected(corr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dropped, discounted := snap.Correction()
+				wantDiscount := 0
+				for j, id := range live {
+					if j%5 != 0 && j%3 == 0 && !corr.Drop[id] {
+						wantDiscount++
+					}
+				}
+				if dropped != len(corr.Drop)-1 || discounted != wantDiscount {
+					t.Fatalf("Correction() = %d dropped, %d discounted; want %d, %d",
+						dropped, discounted, len(corr.Drop)-1, wantDiscount)
+				}
+
+				// Serial replay with the same adjustments appended.
+				st := replay(t, rate, logs)
+				sids, _ := st.SnapshotInto(nil, nil)
+				regToStream := map[int]int{}
+				for j, id := range live {
+					regToStream[id] = sids[j]
+				}
+				for j, id := range live {
+					if j%5 == 0 {
+						if err := st.Remove(regToStream[id]); err != nil {
+							t.Fatal(err)
+						}
+						continue
+					}
+					if w, ok := corr.Weights[id]; ok {
+						v, _ := st.Value(regToStream[id])
+						if err := st.Update(regToStream[id], v/w); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+
+				if got, want := snap.Sum(), st.Sealed(); got != want {
+					t.Errorf("corrected S = %v, want serial %v (diff %g)", got, want, got-want)
+				}
+				if snap.N() != st.N() {
+					t.Fatalf("corrected N = %d, want serial %d", snap.N(), st.N())
+				}
+				_, sx := st.SnapshotInto(nil, nil)
+				var sw Sweep
+				x := sw.Alloc(snap, workers)
+				for j := range x {
+					if x[j] != sx[j] {
+						t.Fatalf("corrected x[%d] = %v, want serial %v", j, x[j], sx[j])
+					}
+				}
+
+				// Dropped ids are gone from the corrected epoch but the
+				// registry itself is untouched: the next plain seal
+				// restores them at their original bids.
+				for j, id := range live {
+					if j%5 == 0 && snap.Contains(id) {
+						t.Fatalf("dropped id %d still in corrected epoch", id)
+					}
+				}
+				plain := r.Seal()
+				if dropped, discounted := plain.Correction(); dropped != 0 || discounted != 0 {
+					t.Fatalf("plain seal reports a correction (%d, %d)", dropped, discounted)
+				}
+				if plain.N() != len(live) {
+					t.Fatalf("plain reseal N = %d, want %d", plain.N(), len(live))
+				}
+				for j, id := range live {
+					v, ok := plain.Value(id)
+					sv, _ := st.Value(regToStream[id])
+					if j%5 == 0 {
+						if !ok {
+							t.Fatalf("id %d lost by corrected seal", id)
+						}
+						continue
+					}
+					if corr.Weights[id] != 0 && ok && v == sv {
+						t.Fatalf("corrected seal mutated the registry bid of id %d", id)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRemovedIDsAreNeverReused pins the no-id-reuse contract the
+// health controller's eject path depends on: removing an agent frees
+// its slot but never its id, so a corrected epoch that drops id k can
+// never accidentally drop a later joiner, even when the later Add
+// recycles the same dense slot.
+func TestRemovedIDsAreNeverReused(t *testing.T) {
+	r, err := New(Config{Rate: 10, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var removed []int
+	for i := 0; i < 500; i++ {
+		id, err := r.Add(1 + float64(i%9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("id %d assigned twice", id)
+		}
+		seen[id] = true
+		if i%2 == 1 { // free every other slot to force slot recycling
+			if err := r.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+			removed = append(removed, id)
+		}
+	}
+	snap := r.Seal()
+	for _, id := range removed {
+		if snap.Contains(id) {
+			t.Fatalf("removed id %d resurfaced in a sealed epoch", id)
+		}
+		if err := r.Update(id, 2); err == nil {
+			t.Fatalf("Update(%d) on a removed id succeeded", id)
+		}
+	}
+	// A correction naming a removed id is a no-op, not a resurrection.
+	snap2, err := r.SealCorrected(&Correction{Drop: map[int]bool{removed[0]: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := snap2.Correction(); d != 0 {
+		t.Fatalf("dropping a removed id counted as a correction")
+	}
+	if snap2.Sum() != snap.Sum() {
+		t.Fatalf("no-op correction changed S: %v vs %v", snap2.Sum(), snap.Sum())
+	}
+
+	// Malformed weights are rejected before any lock is taken.
+	for _, w := range []float64{0, -1, 1.5, math.NaN(), math.Inf(1)} {
+		if _, err := r.SealCorrected(&Correction{Weights: map[int]float64{0: w}}); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
 }

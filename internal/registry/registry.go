@@ -305,6 +305,43 @@ func (r *Registry) Snapshot() *Snapshot {
 	return r.snap.Load()
 }
 
+// Correction is the health adjustment a corrected seal applies on top
+// of the live population — the registry-side half of the paper's
+// verification loop run continuously (see internal/health). It never
+// mutates the registry: the underlying bids stay whatever the agents
+// bid, and a later uncorrected Seal sees them untouched.
+type Correction struct {
+	// Weights maps agent ids to capacity factors in (0, 1]: the sealed
+	// epoch prices id as if it had bid t/weight, so a half-weight
+	// (degraded or slow-starting) computer draws half the allocation
+	// share its bid would earn. Weights outside (0, 1] or non-finite
+	// are rejected; ids that are not live are ignored.
+	Weights map[int]float64
+	// Drop is the set of agent ids excluded from the sealed epoch
+	// entirely (ejected computers). Ids that are not live are ignored;
+	// an id that is both dropped and weighted is dropped.
+	Drop map[int]bool
+}
+
+// empty reports whether the correction adjusts nothing.
+func (c *Correction) empty() bool {
+	return c == nil || (len(c.Weights) == 0 && len(c.Drop) == 0)
+}
+
+// validate rejects malformed weights up front, before any lock is
+// taken.
+func (c *Correction) validate() error {
+	if c == nil {
+		return nil
+	}
+	for _, w := range c.Weights {
+		if !(w > 0 && w <= 1) || math.IsNaN(w) {
+			return &alloc.ValueError{Field: "weight", Value: w}
+		}
+	}
+	return nil
+}
+
 // Seal freezes the current population into a new immutable Snapshot,
 // publishes it, and returns it. The shard locks are all held for the
 // copy — writers queue behind a seal for O(population/shards) each —
@@ -313,6 +350,24 @@ func (r *Registry) Snapshot() *Snapshot {
 // shard-count- and schedule-independent reduction shared with
 // alloc.Stream.Sealed. Concurrent Seal calls serialize.
 func (r *Registry) Seal() *Snapshot {
+	snap, _ := r.SealCorrected(nil) // a nil correction cannot fail
+	return snap
+}
+
+// SealCorrected seals an epoch with health corrections applied:
+// dropped agents are absent from the snapshot (as if removed) and
+// weighted agents are priced at bid t/weight (as if they had rebid),
+// while the registry's own state is untouched. The canonical S is the
+// same ascending-id Neumaier reduction as Seal, computed over the
+// corrected bids — so the corrected epoch is bitwise identical to a
+// serial alloc.Stream replay in which the dropped agents were removed
+// and the weighted agents updated to t/weight, for any shard count,
+// worker count and mutation history. It depends only on the live
+// (id, bid) set and the correction, never on map iteration order.
+func (r *Registry) SealCorrected(c *Correction) (*Snapshot, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
 	r.sealMu.Lock()
 	defer r.sealMu.Unlock()
 	start := time.Now()
@@ -349,6 +404,30 @@ func (r *Registry) Seal() *Snapshot {
 		r.shards[i].mu.Unlock()
 	}
 
+	// Apply the correction to the sealed copy (never to the shards):
+	// drops zero the slot, discounts reprice it at t/weight with the
+	// inverse recomputed from the corrected bid — exactly what an
+	// alloc.Stream replay of the same adjustments produces. Map
+	// iteration order is irrelevant: each entry pokes an independent
+	// array slot, and the aggregate below is a single ascending-id
+	// pass.
+	dropped, discounted := 0, 0
+	if !c.empty() {
+		for id := range c.Drop {
+			if id >= 0 && id < len(inv) && inv[id] != 0 {
+				t[id], inv[id] = 0, 0
+				dropped++
+			}
+		}
+		for id, w := range c.Weights {
+			if id >= 0 && id < len(inv) && inv[id] != 0 && w != 1 {
+				tw := t[id] / w
+				t[id], inv[id] = tw, 1/tw
+				discounted++
+			}
+		}
+	}
+
 	ids := make([]int, 0, live)
 	var k numeric.KahanSum
 	for id, v := range inv {
@@ -357,10 +436,13 @@ func (r *Registry) Seal() *Snapshot {
 			ids = append(ids, id)
 		}
 	}
-	snap := &Snapshot{epoch: epoch, rate: rate, s: k.Value(), ids: ids, t: t, inv: inv}
+	snap := &Snapshot{
+		epoch: epoch, rate: rate, s: k.Value(), ids: ids, t: t, inv: inv,
+		dropped: dropped, discounted: discounted,
+	}
 	r.snap.Store(snap)
 	r.met.Sealed(len(ids), time.Since(start).Seconds())
-	return snap
+	return snap, nil
 }
 
 // locate resolves an id to its shard and local index, rejecting ids

@@ -15,6 +15,10 @@ type Snapshot struct {
 	ids   []int     // live ids, ascending
 	t     []float64 // id-indexed bid; 0 = absent
 	inv   []float64 // id-indexed 1/bid; 0 = absent
+
+	// Health correction applied at seal time (see SealCorrected).
+	dropped    int
+	discounted int
 }
 
 // Epoch returns the seal sequence number. New seals the empty
@@ -35,6 +39,14 @@ func (s *Snapshot) N() int { return len(s.ids) }
 // IDs returns the live ids in ascending order. The slice is owned by
 // the snapshot and must not be modified.
 func (s *Snapshot) IDs() []int { return s.ids }
+
+// Correction reports the health adjustment applied at seal time: how
+// many live agents the corrected epoch dropped (ejected) and how many
+// it discounted (degraded or slow-starting). Both are zero for an
+// uncorrected epoch.
+func (s *Snapshot) Correction() (dropped, discounted int) {
+	return s.dropped, s.discounted
+}
 
 // Contains reports whether the agent was live in the sealed epoch.
 func (s *Snapshot) Contains(id int) bool {

@@ -154,11 +154,14 @@ func (e *Engine) Run(cfg Config) (*Result, error) {
 			}
 			if cfg.Faults != nil {
 				// Re-key the schedule per (round, attempt) — attempt 0
-				// of round 0 keeps the plan's own seed — and remap the
-				// population-level node ids onto this round's active
-				// set.
+				// of round 0 keeps the plan's own seed — resolve
+				// flapping nodes against the round number (a flapper is
+				// stalled or healthy for whole rounds, so it trips
+				// verification in its bad phase and serves normally in
+				// its good one), and remap the population-level node
+				// ids onto this round's active set.
 				salt := uint64(round)<<8 | uint64(attempt&0xff)
-				pcfg.Faults = faults.Remap(faults.Reseed(cfg.Faults, salt), rec.Active)
+				pcfg.Faults = faults.Remap(faults.FlapPhase(faults.Reseed(cfg.Faults, salt), round), rec.Active)
 			}
 			// Retries chase a fully responsive round; the final
 			// attempt degrades to whoever answers.

@@ -132,3 +132,59 @@ func TestCrashPlanExcludesComputerEveryRound(t *testing.T) {
 		}
 	}
 }
+
+// TestFlapPlanCyclesSuspensionAndReturn: a flapping computer (period
+// 4, duty 0.5 → stalled in rounds 0,1 mod 4) is flagged and suspended
+// in its stalled phases, serves cleanly in its healthy phases after
+// the ban expires, and is re-suspended when the bad phase comes back —
+// the suspension/return cycle the per-round FlapPhase resolution
+// exists to produce.
+func TestFlapPlanCyclesSuspensionAndReturn(t *testing.T) {
+	plan := faults.New(1, faults.Flap(4, 0.5, 3))
+	res, err := Run(Config{
+		Computers:    population(4),
+		Rate:         8,
+		Rounds:       16,
+		JobsPerRound: 4000,
+		Seed:         11,
+		Policy:       Policy{Strikes: 1, BanRounds: 2},
+		Faults:       plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspensions[3] < 2 {
+		t.Fatalf("flapping computer suspended %d times, want >= 2 (suspend, return, re-suspend)", res.Suspensions[3])
+	}
+	activeHealthy, activeStalled := 0, 0
+	for _, rec := range res.Records {
+		active := false
+		for _, a := range rec.Active {
+			if a == 3 {
+				active = true
+			}
+		}
+		stalledPhase := faults.FlapStalled(plan, 3, rec.Round)
+		if active && stalledPhase {
+			activeStalled++
+		}
+		if active && !stalledPhase {
+			activeHealthy++
+			// A healthy-phase round must not flag the flapper.
+			for _, f := range rec.Flagged {
+				if f == 3 {
+					t.Errorf("round %d (healthy phase) flagged the flapping computer", rec.Round)
+				}
+			}
+		}
+	}
+	if activeHealthy == 0 {
+		t.Fatal("flapping computer never returned to serve a healthy-phase round")
+	}
+	// Honest computers ride through every flap cycle unsuspended.
+	for i := 0; i < 3; i++ {
+		if res.Suspensions[i] != 0 {
+			t.Errorf("honest computer %d suspended %d times", i, res.Suspensions[i])
+		}
+	}
+}

@@ -468,7 +468,11 @@ func Run(cfg distmech.Config, opts Options) (*Report, error) {
 		sub := base
 		sub.Tree = subTopology(cfg.Tree, alive)
 		sub.Agents = pickAgents(cfg.Agents, alive)
-		sub.Faults = faults.Remap(faults.Reseed(inj, uint64(attempt)), alive)
+		// Flapping nodes are resolved against the attempt number: a
+		// flapper is stalled for whole attempts and healthy for others,
+		// so a retry can land in its good phase instead of burning
+		// every attempt on the same bad node.
+		sub.Faults = faults.Remap(faults.FlapPhase(faults.Reseed(inj, uint64(attempt)), attempt), alive)
 
 		res, err := distmech.Run(sub)
 		v := Classify(res, err, len(alive))

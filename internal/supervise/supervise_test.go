@@ -293,7 +293,8 @@ func TestChaosMatrix(t *testing.T) {
 		"silent":   "silent=5",
 		"stall":    "stall=2@0.5:2",
 		"byz":      "byz=4@1.3",
-		"kitchen":  "drop=0.05,dup=0.1,jitter=0.001,crash=9,byz=6@1.2",
+		"flap":     "flap=2+6@2:0.5",
+		"kitchen":  "drop=0.05,dup=0.1,jitter=0.001,crash=9,byz=6@1.2,flap=8@4:0.25",
 		"deadline": "drop=0.1",
 		"crash0":   "crash=0",
 	}
