@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check fuzz difftest chaos bench bench-rounds bench-registry
+.PHONY: build test vet lint race check fuzz difftest chaos bench bench-rounds bench-registry bench-dispatch
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,8 @@ race:
 difftest:
 	$(GO) test -race -run 'TestFast|TestFallback|TestEngine' -count=1 ./internal/mech
 	$(GO) test -run 'TestCompensationBonusAllocsO1|TestEngineSteadyStateZeroAllocs' -count=1 ./internal/mech
+	$(GO) test -race -run 'TestAliasDifferentialFrequencies|TestAccountingWorkerInvariance|TestAliasRebuildRaceClean' -count=1 ./internal/dispatch
+	$(GO) test -run 'TestPickAllocFree' -count=1 ./internal/dispatch
 
 # The acceptance gate: static analysis, the differential payment tests
 # under -race, then the full suite (chaos matrix included) under the
@@ -39,6 +41,7 @@ check: lint difftest race
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/supervise
 	$(GO) test -run=^$$ -fuzz=FuzzControllerInvariants -fuzztime=30s ./internal/health
+	$(GO) test -run=^$$ -fuzz=FuzzAliasTable -fuzztime=30s ./internal/dispatch
 
 # Chaos gate: the supervise fault-plan matrix, the health controller's
 # 32-seed replication suite (ejection budgets, zero false positives,
@@ -77,3 +80,13 @@ bench-registry:
 	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_registry.json
 	@rm -f .bench_raw.txt
 	@cat BENCH_registry.json
+
+# Record the per-job dispatch baseline (alias-table Pick vs the classic
+# policies across a worker sweep, plus epoch rebuild cost) as stable
+# JSON. Commit BENCH_dispatch.json to track regressions; the alias hot
+# path must hold ≤ 20ns/op and 0 allocs/op at workers=1.
+bench-dispatch:
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch' -benchmem ./internal/dispatch > .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_dispatch.json
+	@rm -f .bench_raw.txt
+	@cat BENCH_dispatch.json

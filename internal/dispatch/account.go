@@ -1,0 +1,176 @@
+package dispatch
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/alloc"
+)
+
+// Tally accumulates per-instance dispatch counts. The load generator
+// gives each worker its own Tally — the hot loop touches no shared
+// memory — and merges them when the run ends.
+type Tally struct {
+	// Jobs counts jobs routed to each instance.
+	Jobs []int64
+	// Work sums the routed jobs' sizes per instance (service demand
+	// in mean-job units); with unit mean sizes Work ≈ Jobs.
+	Work []float64
+}
+
+// NewTally returns a zeroed tally over n instances.
+func NewTally(n int) *Tally {
+	return &Tally{Jobs: make([]int64, n), Work: make([]float64, n)}
+}
+
+// Observe records one job of the given size routed to target.
+func (t *Tally) Observe(target int, size float64) {
+	t.Jobs[target]++
+	t.Work[target] += size
+}
+
+// Merge folds another tally into t. Job counts are integers, so the
+// merged counts are independent of merge order and worker
+// partitioning; Work is floating point and merge-order dependent in
+// its last bits.
+func (t *Tally) Merge(from *Tally) {
+	for i := range t.Jobs {
+		t.Jobs[i] += from.Jobs[i]
+		t.Work[i] += from.Work[i]
+	}
+}
+
+// Total returns the merged job count.
+func (t *Tally) Total() int64 {
+	var n int64
+	for _, c := range t.Jobs {
+		n += c
+	}
+	return n
+}
+
+// Account is the model-based realized-latency accounting of one
+// dispatch run: the per-instance arrival rates a policy actually
+// produced, pushed through the epoch's latency model. It is computed
+// from the merged integer job counts and the nominal horizon only, in
+// ascending instance order — so for policies whose routing is a pure
+// function of the job (alias, ip-hash, greedy) the accounting is
+// byte-identical for any worker count.
+type Account struct {
+	// Jobs is the total job count.
+	Jobs int64
+	// Rates[i] is instance i's realized arrival rate Jobs_i/horizon.
+	Rates []float64
+	// Shares[i] is instance i's fraction of all jobs.
+	Shares []float64
+	// PerJob[i] is the modeled per-job latency at instance i under
+	// its realized rate (+Inf for an overloaded M/M/1 instance).
+	PerJob []float64
+	// Mean and P99 summarize latency over jobs: each job's latency is
+	// its instance's PerJob value.
+	Mean, P99 float64
+	// Unstable counts instances whose realized rate meets or exceeds
+	// their service capacity (M/M/1 model only): their queues grow
+	// without bound and their latency is +Inf.
+	Unstable int
+}
+
+// MaxShare returns the largest per-instance job share and its
+// instance — the herding indicator (1/n is perfectly level, 1.0 is
+// total collapse onto one instance).
+func (a *Account) MaxShare() (share float64, instance int) {
+	for i, s := range a.Shares {
+		if s > share {
+			share, instance = s, i
+		}
+	}
+	return share, instance
+}
+
+// AccountLinear prices a tally under the paper's linear model: a job
+// routed to instance i experiences latency t_i·x̂_i at the realized
+// rate x̂_i = Jobs_i/horizon. ts are the instances' latency
+// parameters (the sealed bids) and horizon is the nominal arrival
+// span jobs/R. The mechanism optimum to compare against is
+// snapshot.OptimalLatency()/R per job (mean R/S).
+func AccountLinear(tal *Tally, ts []float64, horizon float64) (*Account, error) {
+	return account(tal, horizon, func(i int, rate float64) float64 {
+		return ts[i] * rate
+	}, len(ts))
+}
+
+// AccountMM1 prices a tally as M/M/1 queues: instance i serves at
+// rate mu_i with exponential service times, so a job routed there
+// sees mean sojourn 1/(mu_i − x̂_i) — or an unbounded queue when the
+// realized arrival rate x̂_i reaches capacity, the signature of
+// herding collapse.
+func AccountMM1(tal *Tally, mus []float64, horizon float64) (*Account, error) {
+	return account(tal, horizon, func(i int, rate float64) float64 {
+		if rate >= mus[i] {
+			return math.Inf(1)
+		}
+		return 1 / (mus[i] - rate)
+	}, len(mus))
+}
+
+// account runs the shared reduction. perJob maps (instance, realized
+// rate) to modeled per-job latency.
+func account(tal *Tally, horizon float64, perJob func(int, float64) float64, n int) (*Account, error) {
+	if n != len(tal.Jobs) {
+		return nil, &alloc.ValueError{Field: "len(model)", Value: float64(n)}
+	}
+	if !(horizon > 0) || math.IsInf(horizon, 0) {
+		return nil, &alloc.ValueError{Field: "horizon", Value: horizon}
+	}
+	a := &Account{
+		Rates:  make([]float64, n),
+		Shares: make([]float64, n),
+		PerJob: make([]float64, n),
+	}
+	a.Jobs = tal.Total()
+	for i, c := range tal.Jobs {
+		a.Rates[i] = float64(c) / horizon
+		if a.Jobs > 0 {
+			a.Shares[i] = float64(c) / float64(a.Jobs)
+		}
+		a.PerJob[i] = perJob(i, a.Rates[i])
+		if math.IsInf(a.PerJob[i], 1) && c > 0 {
+			a.Unstable++
+		}
+	}
+	if a.Jobs == 0 {
+		return a, nil
+	}
+	// Mean over jobs: every job routed to i sees PerJob[i]. An
+	// unstable instance drags the mean to +Inf — correctly.
+	var sum float64
+	for i, c := range tal.Jobs {
+		if c > 0 {
+			sum += float64(c) * a.PerJob[i]
+		}
+	}
+	a.Mean = sum / float64(a.Jobs)
+	// p99 over jobs: walk instances by ascending per-job latency
+	// (index-stable) until 99% of jobs are covered.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		ix, iy := order[x], order[y]
+		if a.PerJob[ix] != a.PerJob[iy] {
+			return a.PerJob[ix] < a.PerJob[iy]
+		}
+		return ix < iy
+	})
+	need := int64(math.Ceil(0.99 * float64(a.Jobs)))
+	var covered int64
+	for _, i := range order {
+		covered += tal.Jobs[i]
+		if covered >= need {
+			a.P99 = a.PerJob[i]
+			break
+		}
+	}
+	return a, nil
+}

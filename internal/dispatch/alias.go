@@ -1,0 +1,198 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/numeric"
+	"repro/internal/registry"
+)
+
+// Table is a Walker alias table: an O(n)-built, O(1)-sampled discrete
+// distribution. Sampling costs two array reads and one branch —
+// independent of the instance count — which is what lets the alias
+// dispatcher track the mechanism's allocation at the same per-job
+// cost as round-robin.
+//
+// Construction squares with the internal/alloc validation contract:
+// a negative, NaN or Inf weight, or a weight vector with no positive
+// mass, is a typed *alloc.ValueError rather than a silently broken
+// table. Individual zero weights are legal — a zero-rate instance is
+// simply never sampled — and a single-instance table degenerates to
+// the constant 0.
+type Table struct {
+	n     int
+	prob  []float64 // acceptance threshold of each slot, in [0, 1]
+	alias []int32   // donor index taken when the threshold rejects
+}
+
+// NewTable builds an alias table over the given (unnormalized,
+// nonnegative) weights using Vose's two-worklist construction. The
+// weights slice is not retained.
+func NewTable(w []float64) (*Table, error) {
+	n := len(w)
+	if n == 0 {
+		return nil, ErrNoInstances
+	}
+	if n > math.MaxInt32 {
+		return nil, &alloc.ValueError{Field: "len(w)", Value: float64(n)}
+	}
+	var sum numeric.KahanSum
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, &alloc.ValueError{Field: fmt.Sprintf("w[%d]", i), Value: x}
+		}
+		sum.Add(x)
+	}
+	total := sum.Value()
+	if !(total > 0) || math.IsInf(total, 0) {
+		return nil, &alloc.ValueError{Field: "sum(w)", Value: total}
+	}
+
+	t := &Table{n: n, prob: make([]float64, n), alias: make([]int32, n)}
+	// Scale each weight to mean 1 (p_i·n); entries below 1 need a
+	// donor, entries above 1 have mass to donate. Normalizing each
+	// entry as (x/total)·n keeps the intermediate in [0, n] — the
+	// one-shot scale factor n/total overflows to +Inf for subnormal
+	// totals and turns zero weights into NaN slots.
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	donor := int32(0)
+	for i, x := range w {
+		t.prob[i] = x / total * float64(n)
+		if t.prob[i] > t.prob[donor] {
+			donor = int32(i)
+		}
+		if t.prob[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		// s keeps prob[s] of its own mass; the rest of its slot is
+		// donated by l.
+		t.alias[s] = l
+		t.prob[l] -= 1 - t.prob[s]
+		if t.prob[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Whatever remains on either worklist is there only through
+	// floating-point drift: those slots own their full probability.
+	// Exception: a slot whose scaled weight is exactly zero (a
+	// zero-rate instance stranded by drift elsewhere) must stay
+	// unreachable — it aliases to the heaviest slot instead of being
+	// promoted to probability one.
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		if t.prob[i] == 0 {
+			t.alias[i] = donor
+			continue
+		}
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t, nil
+}
+
+// N returns the number of outcomes.
+func (t *Table) N() int { return t.n }
+
+// Sample maps 64 uniform bits to an outcome: the high 32 bits pick
+// the slot (multiply-shift, no divide), the low 32 form the
+// acceptance fraction against the slot's threshold. Two array reads
+// and one branch; zero allocations; safe for any number of
+// concurrent callers since the table is immutable.
+func (t *Table) Sample(u uint64) int {
+	slot := indexOf(u, t.n)
+	if float64(uint32(u))*0x1p-32 < t.prob[slot] {
+		return slot
+	}
+	return int(t.alias[slot])
+}
+
+// Alias is the mechanism-optimal dispatcher: jobs are routed by
+// alias-table sampling over the sealed epoch's weights 1/b_i, so the
+// realized per-instance arrival rates track the PR allocation
+// x_i* = R·(1/b_i)/S without coordination between callers. The draw
+// for each job is derived by hashing the job against the dispatcher
+// seed, which makes the assignment a pure function of (seed, epoch,
+// job): concurrent workers produce the same routing as a serial
+// replay of the same jobs.
+type Alias struct {
+	seed uint64
+	st   atomic.Pointer[aliasEpoch]
+}
+
+type aliasEpoch struct {
+	view *view
+	tab  *Table
+}
+
+// NewAlias returns an alias dispatcher with the given hash seed.
+func NewAlias(seed uint64) *Alias { return &Alias{seed: seed} }
+
+// Name implements Dispatcher.
+func (d *Alias) Name() string { return "alias" }
+
+// Rebuild implements Dispatcher: it builds a fresh table from the
+// sealed epoch and publishes it with one atomic store. Readers
+// continue sampling the previous table until the store lands, so
+// epoch swaps (including SealCorrected health corrections) cost the
+// hot path nothing.
+func (d *Alias) Rebuild(snap *registry.Snapshot) error {
+	v, err := viewFromSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	tab, err := NewTable(v.w)
+	if err != nil {
+		return err
+	}
+	d.st.Store(&aliasEpoch{view: v, tab: tab})
+	return nil
+}
+
+// Pick implements Dispatcher.
+func (d *Alias) Pick(j Job) int {
+	return d.st.Load().tab.Sample(jobBits(d.seed, j))
+}
+
+// Done implements Dispatcher (no per-connection state).
+func (d *Alias) Done(Job, int) {}
+
+// N implements Dispatcher.
+func (d *Alias) N() int {
+	if st := d.st.Load(); st != nil {
+		return st.tab.n
+	}
+	return 0
+}
+
+// Epoch returns the sealed epoch number the dispatcher currently
+// routes against (0 before the first Rebuild).
+func (d *Alias) Epoch() uint64 {
+	if st := d.st.Load(); st != nil {
+		return st.view.epoch
+	}
+	return 0
+}
+
+// Table returns the active alias table (nil before the first
+// Rebuild); tests sample it directly with a seeded numeric.Rand.
+func (d *Alias) Table() *Table {
+	if st := d.st.Load(); st != nil {
+		return st.tab
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package dispatch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/numeric"
+)
+
+// TestNewTableDegenerate pins the construction contract: invalid
+// weights are typed *alloc.ValueError, an empty vector is
+// ErrNoInstances, and the legal degenerate shapes (single instance,
+// zero-weight entries) build working tables instead of broken ones.
+func TestNewTableDegenerate(t *testing.T) {
+	bad := [][]float64{
+		{math.NaN()},
+		{1, math.NaN(), 2},
+		{math.Inf(1)},
+		{1, math.Inf(-1)},
+		{-1, 2},
+		{0, 0, 0}, // zero-rate everywhere: no positive mass
+		{},
+	}
+	for _, w := range bad {
+		tab, err := NewTable(w)
+		if err == nil {
+			t.Fatalf("NewTable(%v) built a table from invalid weights", w)
+		}
+		if tab != nil {
+			t.Fatalf("NewTable(%v) returned a table alongside error %v", w, err)
+		}
+		if len(w) == 0 {
+			if !errors.Is(err, ErrNoInstances) {
+				t.Fatalf("NewTable(empty): err = %v, want ErrNoInstances", err)
+			}
+			continue
+		}
+		var ve *alloc.ValueError
+		if !errors.As(err, &ve) {
+			t.Fatalf("NewTable(%v): err = %v, want *alloc.ValueError", w, err)
+		}
+	}
+}
+
+// TestNewTableSingle checks the single-instance table is the constant
+// distribution.
+func TestNewTableSingle(t *testing.T) {
+	tab, err := NewTable([]float64{3.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := numeric.NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if got := tab.Sample(rng.Uint64()); got != 0 {
+			t.Fatalf("single-instance sample = %d, want 0", got)
+		}
+	}
+}
+
+// TestNewTableZeroWeightNeverSampled checks that a zero-rate instance
+// draws exactly nothing.
+func TestNewTableZeroWeightNeverSampled(t *testing.T) {
+	w := []float64{1, 0, 2, 0, 4}
+	tab, err := NewTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := numeric.NewRand(11)
+	for i := 0; i < 200_000; i++ {
+		idx := tab.Sample(rng.Uint64())
+		if idx < 0 || idx >= len(w) {
+			t.Fatalf("sample %d out of range [0, %d)", idx, len(w))
+		}
+		if w[idx] == 0 {
+			t.Fatalf("sampled zero-weight instance %d", idx)
+		}
+	}
+}
+
+// TestTableMassConservation checks the alias construction preserves
+// every slot's probability exactly: summing each slot's kept and
+// donated mass reconstructs the normalized input weights.
+func TestTableMassConservation(t *testing.T) {
+	w := []float64{5, 0.25, 1, 1, 9, 0.01, 3, 0.5}
+	tab, err := NewTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total numeric.KahanSum
+	for _, x := range w {
+		total.Add(x)
+	}
+	mass := make([]float64, len(w))
+	for slot := 0; slot < tab.n; slot++ {
+		mass[slot] += tab.prob[slot] / float64(tab.n)
+		mass[tab.alias[slot]] += (1 - tab.prob[slot]) / float64(tab.n)
+	}
+	for i, x := range w {
+		want := x / total.Value()
+		if math.Abs(mass[i]-want) > 1e-12 {
+			t.Errorf("instance %d: table mass %.15g, want %.15g", i, mass[i], want)
+		}
+	}
+}
+
+// TestAliasEpochAccessors checks the dispatcher exposes the sealed
+// epoch it routes against and a nil table before the first rebuild.
+func TestAliasEpochAccessors(t *testing.T) {
+	d := NewAlias(1)
+	if d.N() != 0 || d.Epoch() != 0 || d.Table() != nil {
+		t.Fatal("fresh alias dispatcher should have no epoch")
+	}
+	reg := testRegistry(t, []float64{1, 2, 4}, 10)
+	snap := reg.Snapshot()
+	if err := d.Rebuild(snap); err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 || d.Epoch() != snap.Epoch() || d.Table() == nil {
+		t.Fatalf("after rebuild: N=%d epoch=%d, want 3, %d", d.N(), d.Epoch(), snap.Epoch())
+	}
+}

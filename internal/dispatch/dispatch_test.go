@@ -1,0 +1,362 @@
+package dispatch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/registry"
+)
+
+// testRegistry seals a registry over the given bids and returns it.
+func testRegistry(t testing.TB, bids []float64, rate float64) *registry.Registry {
+	t.Helper()
+	reg, err := registry.New(registry.Config{Rate: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bids {
+		if _, err := reg.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.Seal()
+	return reg
+}
+
+// rebuilt returns the named dispatcher rebuilt onto the registry's
+// current snapshot.
+func rebuilt(t testing.TB, policy string, reg *registry.Registry, seed uint64) Dispatcher {
+	t.Helper()
+	d, err := New(policy, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rebuild(reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewUnknownPolicy(t *testing.T) {
+	if _, err := New("fastest-finger", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, p := range Policies() {
+		d, err := New(p, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", p, err)
+		}
+		if d.Name() != p {
+			t.Fatalf("New(%q).Name() = %q", p, d.Name())
+		}
+	}
+}
+
+// TestRoundRobinExactFairness: counts are perfectly level when jobs
+// divide evenly.
+func TestRoundRobinExactFairness(t *testing.T) {
+	reg := testRegistry(t, []float64{1, 2, 3, 4, 5}, 10)
+	d := rebuilt(t, "rr", reg, 0)
+	counts := make([]int, 5)
+	for i := 0; i < 1000; i++ {
+		counts[d.Pick(Job{ID: int64(i)})]++
+	}
+	for i, c := range counts {
+		if c != 200 {
+			t.Errorf("instance %d: %d picks, want 200", i, c)
+		}
+	}
+}
+
+// TestLeastConnSpreadsWithoutDone: every pick raises the chosen
+// instance's in-flight count, so with no completions the counts stay
+// within one of each other.
+func TestLeastConnSpreadsWithoutDone(t *testing.T) {
+	reg := testRegistry(t, []float64{1, 1, 1, 1}, 10)
+	d := rebuilt(t, "least-conn", reg, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 101; i++ {
+		counts[d.Pick(Job{ID: int64(i)})]++
+	}
+	for i, c := range counts {
+		if c < 25 || c > 26 {
+			t.Errorf("instance %d: %d picks, want 25-26", i, c)
+		}
+	}
+}
+
+// TestLeastConnDoneFreesInstance: with immediate completion the
+// lowest index always has the fewest (zero) connections.
+func TestLeastConnDoneFreesInstance(t *testing.T) {
+	reg := testRegistry(t, []float64{1, 1, 1}, 10)
+	d := rebuilt(t, "least-conn", reg, 0)
+	for i := 0; i < 50; i++ {
+		j := Job{ID: int64(i)}
+		got := d.Pick(j)
+		if got != 0 {
+			t.Fatalf("pick %d: instance %d, want 0 (all idle, lowest-index tie-break)", i, got)
+		}
+		d.Done(j, got)
+	}
+}
+
+// TestPowerOfTwoBalances: p2c with held connections keeps the load
+// within the classic near-level band, and never picks out of range.
+func TestPowerOfTwoBalances(t *testing.T) {
+	reg := testRegistry(t, []float64{1, 1, 1, 1, 1, 1, 1, 1}, 10)
+	d := rebuilt(t, "p2c", reg, 42)
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		idx := d.Pick(Job{ID: int64(i), Key: uint64(i) * 977})
+		if idx < 0 || idx >= 8 {
+			t.Fatalf("pick out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// 8000 held connections over 8 instances: two-choices keeps the
+	// imbalance logarithmic; allow a generous band around 1000.
+	for i, c := range counts {
+		if c < 900 || c > 1100 {
+			t.Errorf("instance %d: %d picks, want ~1000", i, c)
+		}
+	}
+}
+
+// TestStaticWeightedExactRatio: smooth WRR delivers weight-exact
+// counts over full cycles and the canonical interleaving.
+func TestStaticWeightedExactRatio(t *testing.T) {
+	// Bids 0.25 and 1 give exact weights 4 and 1.
+	reg := testRegistry(t, []float64{0.25, 1}, 10)
+	d := rebuilt(t, "weighted", reg, 0)
+	want := []int{0, 0, 1, 0, 0} // smooth WRR pattern for weights 4:1
+	counts := make([]int, 2)
+	for i := 0; i < 500; i++ {
+		got := d.Pick(Job{})
+		if got != want[i%5] {
+			t.Fatalf("pick %d: instance %d, want %d", i, got, want[i%5])
+		}
+		counts[got]++
+	}
+	if counts[0] != 400 || counts[1] != 100 {
+		t.Fatalf("counts = %v, want [400 100]", counts)
+	}
+}
+
+// TestIPHashSticky: one key, one instance — across jobs and across
+// same-size rebuilds.
+func TestIPHashSticky(t *testing.T) {
+	reg := testRegistry(t, []float64{1, 2, 3, 4, 5, 6, 7}, 10)
+	d := rebuilt(t, "ip-hash", reg, 9)
+	hit := make(map[int]bool)
+	for key := uint64(0); key < 64; key++ {
+		first := d.Pick(Job{ID: 0, Key: key})
+		for i := 1; i < 20; i++ {
+			if got := d.Pick(Job{ID: int64(i), Key: key}); got != first {
+				t.Fatalf("key %d moved from %d to %d", key, first, got)
+			}
+		}
+		hit[first] = true
+	}
+	if len(hit) < 4 {
+		t.Fatalf("64 keys landed on only %d of 7 instances", len(hit))
+	}
+	// Rebuilding onto an epoch with the same instance count keeps
+	// every key pinned.
+	before := d.Pick(Job{Key: 17})
+	reg.Seal()
+	if err := d.Rebuild(reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Pick(Job{Key: 17}); got != before {
+		t.Fatalf("same-size rebuild moved key 17 from %d to %d", before, got)
+	}
+}
+
+// TestGreedyHerdsOnFastest: greedy always routes to the
+// maximum-weight (minimum-bid) instance.
+func TestGreedyHerdsOnFastest(t *testing.T) {
+	reg := testRegistry(t, []float64{4, 2, 0.5, 8}, 10)
+	d := rebuilt(t, "greedy", reg, 0)
+	for i := 0; i < 100; i++ {
+		if got := d.Pick(Job{ID: int64(i)}); got != 2 {
+			t.Fatalf("greedy picked %d, want 2 (bid 0.5 is fastest)", got)
+		}
+	}
+}
+
+// TestRebuildEmptyEpochKeepsOld: an empty epoch is rejected with
+// ErrNoInstances and the previous epoch keeps serving.
+func TestRebuildEmptyEpochKeepsOld(t *testing.T) {
+	reg, err := registry.New(registry.Config{Rate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Policies() {
+		d, err := New(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Rebuild(reg.Snapshot()); !errors.Is(err, ErrNoInstances) {
+			t.Fatalf("%s: rebuild on empty epoch: err = %v, want ErrNoInstances", p, err)
+		}
+	}
+	id, err := reg.Add(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Seal()
+	d := rebuilt(t, "alias", reg, 3)
+	if d.N() != 1 {
+		t.Fatalf("N = %d, want 1", d.N())
+	}
+	// Drain the registry; the corrected-empty epoch must be rejected
+	// and the old table keep routing.
+	if err := reg.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	reg.Seal()
+	if err := d.Rebuild(reg.Snapshot()); !errors.Is(err, ErrNoInstances) {
+		t.Fatalf("rebuild on drained epoch: err = %v, want ErrNoInstances", err)
+	}
+	if d.N() != 1 || d.Pick(Job{ID: 1}) != 0 {
+		t.Fatal("failed rebuild disturbed the active epoch")
+	}
+}
+
+// TestSealCorrectedDropShrinksDispatcher: a corrected epoch ejecting
+// an instance shrinks the dense index space at the next rebuild.
+func TestSealCorrectedDropShrinksDispatcher(t *testing.T) {
+	reg := testRegistry(t, []float64{1, 2, 3, 4}, 10)
+	d := rebuilt(t, "alias", reg, 5)
+	if d.N() != 4 {
+		t.Fatalf("N = %d, want 4", d.N())
+	}
+	snap, err := reg.SealCorrected(&registry.Correction{Drop: map[int]bool{0: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rebuild(snap); err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 {
+		t.Fatalf("after corrected rebuild: N = %d, want 3", d.N())
+	}
+}
+
+// TestPickAllocFree pins the zero-allocation steady state of every
+// policy's hot path.
+func TestPickAllocFree(t *testing.T) {
+	reg := testRegistry(t, []float64{1, 2, 3, 4, 5, 6, 7, 8}, 10)
+	for _, p := range Policies() {
+		d := rebuilt(t, p, reg, 11)
+		id := int64(0)
+		allocs := testing.AllocsPerRun(2000, func() {
+			j := Job{ID: id, Key: uint64(id) * 31}
+			target := d.Pick(j)
+			d.Done(j, target)
+			id++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Pick+Done allocates %.1f/op, want 0", p, allocs)
+		}
+	}
+}
+
+// TestAccountLinearKnownValues checks the model accounting against a
+// hand computation.
+func TestAccountLinearKnownValues(t *testing.T) {
+	tal := NewTally(2)
+	for i := 0; i < 30; i++ {
+		tal.Observe(0, 1)
+	}
+	for i := 0; i < 10; i++ {
+		tal.Observe(1, 1)
+	}
+	// horizon 4s: rates 7.5 and 2.5; ts {0.2, 0.6} → per-job 1.5 and 1.5.
+	acc, err := AccountLinear(tal, []float64{0.2, 0.6}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Jobs != 40 || acc.Unstable != 0 {
+		t.Fatalf("jobs=%d unstable=%d", acc.Jobs, acc.Unstable)
+	}
+	if math.Abs(acc.Mean-1.5) > 1e-12 || math.Abs(acc.P99-1.5) > 1e-12 {
+		t.Fatalf("mean=%g p99=%g, want 1.5", acc.Mean, acc.P99)
+	}
+	if share, inst := acc.MaxShare(); inst != 0 || math.Abs(share-0.75) > 1e-12 {
+		t.Fatalf("max share %g at %d, want 0.75 at 0", share, inst)
+	}
+}
+
+// TestAccountMM1Overload checks an overloaded instance is flagged
+// unstable and drags mean and p99 to +Inf.
+func TestAccountMM1Overload(t *testing.T) {
+	tal := NewTally(2)
+	for i := 0; i < 100; i++ {
+		tal.Observe(0, 1)
+	}
+	tal.Observe(1, 1)
+	// horizon 10s: rates 10 and 0.1 vs capacities 5 and 5.
+	acc, err := AccountMM1(tal, []float64{5, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Unstable != 1 {
+		t.Fatalf("unstable = %d, want 1", acc.Unstable)
+	}
+	if !math.IsInf(acc.Mean, 1) || !math.IsInf(acc.P99, 1) {
+		t.Fatalf("mean=%g p99=%g, want +Inf", acc.Mean, acc.P99)
+	}
+	if math.IsInf(acc.PerJob[1], 1) {
+		t.Fatal("stable instance priced at +Inf")
+	}
+}
+
+// TestAccountP99Boundary checks the p99 walk lands on the instance
+// covering the 99th percentile job.
+func TestAccountP99Boundary(t *testing.T) {
+	tal := NewTally(2)
+	for i := 0; i < 990; i++ {
+		tal.Observe(0, 1)
+	}
+	for i := 0; i < 10; i++ {
+		tal.Observe(1, 1)
+	}
+	// ts chosen so instance 1 is slower: rates 99 and 1 over 10s.
+	acc, err := AccountLinear(tal, []float64{0.01, 10}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 99% of 1000 = 990 jobs: exactly covered by instance 0.
+	if math.Abs(acc.P99-acc.PerJob[0]) > 1e-12 {
+		t.Fatalf("p99 = %g, want instance 0's %g", acc.P99, acc.PerJob[0])
+	}
+	// 20 more slow jobs: 990 of 1020 fast no longer covers the 99th
+	// percentile, which crosses into instance 1.
+	for i := 0; i < 20; i++ {
+		tal.Observe(1, 1)
+	}
+	acc, err = AccountLinear(tal, []float64{0.01, 10}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.P99-acc.PerJob[1]) > 1e-12 {
+		t.Fatalf("p99 = %g, want instance 1's %g", acc.P99, acc.PerJob[1])
+	}
+}
+
+// TestAccountValidation pins the typed error contract.
+func TestAccountValidation(t *testing.T) {
+	tal := NewTally(2)
+	var ve *alloc.ValueError
+	if _, err := AccountLinear(tal, []float64{1}, 1); !errors.As(err, &ve) {
+		t.Fatalf("length mismatch: err = %v, want *alloc.ValueError", err)
+	}
+	for _, h := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := AccountLinear(tal, []float64{1, 1}, h); !errors.As(err, &ve) {
+			t.Fatalf("horizon %v: err = %v, want *alloc.ValueError", h, err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package dispatch
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/numeric"
+)
+
+// FuzzAliasTable feeds arbitrary weight vectors to the alias-table
+// constructor: every input either fails with the typed validation
+// contract or builds a table whose samples are in range, never land
+// on a zero-weight slot, and whose slot mass reconstructs the
+// normalized weights.
+func FuzzAliasTable(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f})                            // +Inf
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0xf8, 0x7f})                            // NaN
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})          // two zeros
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x3f, 0, 0, 0, 0, 0, 0, 8, 0x40}) // {1, 3}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n > 512 {
+			n = 512
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		tab, err := NewTable(w)
+		if err != nil {
+			var ve *alloc.ValueError
+			if !errors.As(err, &ve) && !errors.Is(err, ErrNoInstances) {
+				t.Fatalf("NewTable(%v): untyped error %v", w, err)
+			}
+			if tab != nil {
+				t.Fatal("table returned alongside error")
+			}
+			return
+		}
+		// A built table must route: samples in range, zero-weight
+		// slots unreachable.
+		rng := numeric.NewRand(1)
+		for i := 0; i < 2048; i++ {
+			idx := tab.Sample(rng.Uint64())
+			if idx < 0 || idx >= n {
+				t.Fatalf("sample %d out of range [0, %d)", idx, n)
+			}
+			if w[idx] == 0 {
+				t.Fatalf("sampled zero-weight slot %d of %v", idx, w)
+			}
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/registry"
+)
+
+// This file implements the classic production-balancer baselines
+// behind the Dispatcher interface: round-robin, least-connections
+// (full-scan and power-of-two-choices), smooth static-weighted,
+// ip-hash stickiness, and the deliberately naive greedy policy used
+// to quantify the herding failure story. The alias sampler is in
+// alias.go.
+
+// RoundRobin cycles instances with a single atomic cursor: perfectly
+// fair in counts, blind to capacity. The cursor survives rebuilds, so
+// the rotation continues rather than restarting (a restart is exactly
+// the "every client begins at index 0" herding bug).
+type RoundRobin struct {
+	cur atomic.Uint64
+	atomicView
+}
+
+// NewRoundRobin returns a round-robin dispatcher.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Dispatcher.
+func (d *RoundRobin) Name() string { return "rr" }
+
+// Rebuild implements Dispatcher.
+func (d *RoundRobin) Rebuild(snap *registry.Snapshot) error { return d.rebuild(snap) }
+
+// Pick implements Dispatcher.
+func (d *RoundRobin) Pick(Job) int {
+	v := d.v.Load()
+	return int((d.cur.Add(1) - 1) % uint64(len(v.ids)))
+}
+
+// Done implements Dispatcher.
+func (d *RoundRobin) Done(Job, int) {}
+
+// pcount is a cache-line-padded in-flight counter: least-connection
+// scans read all of them, so neighbouring instances must not share a
+// line with the counters being hammered by Pick/Done.
+type pcount struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// connState is the epoch view plus per-instance in-flight counters,
+// shared by LeastConn and PowerOfTwo.
+type connState struct {
+	view  *view
+	conns []pcount
+}
+
+// connTracker manages the counters across rebuilds: when the instance
+// count is unchanged the counters are carried over (jobs in flight
+// across an epoch seal keep their accounting), otherwise they reset.
+type connTracker struct {
+	st atomic.Pointer[connState]
+}
+
+func (c *connTracker) rebuild(snap *registry.Snapshot) error {
+	v, err := viewFromSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	old := c.st.Load()
+	conns := make([]pcount, len(v.ids))
+	if old != nil && len(old.conns) == len(conns) {
+		conns = old.conns
+	}
+	c.st.Store(&connState{view: v, conns: conns})
+	return nil
+}
+
+func (c *connTracker) N() int {
+	if st := c.st.Load(); st != nil {
+		return len(st.view.ids)
+	}
+	return 0
+}
+
+// done decrements the target's in-flight count, guarding against a
+// completion that races a shrinking rebuild.
+func (c *connTracker) done(target int) {
+	st := c.st.Load()
+	if st != nil && target >= 0 && target < len(st.conns) {
+		st.conns[target].v.Add(-1)
+	}
+}
+
+// LeastConn routes each job to the instance with the fewest in-flight
+// jobs (lowest index on ties), tracking flight with padded atomic
+// counters. The O(n) scan is the price of the exact minimum; the scan
+// races concurrent Picks benignly — the chosen instance may be off by
+// the handful of jobs dispatched mid-scan, the standard relaxation
+// every production least-connections balancer makes.
+type LeastConn struct {
+	connTracker
+}
+
+// NewLeastConn returns a least-connections dispatcher.
+func NewLeastConn() *LeastConn { return &LeastConn{} }
+
+// Name implements Dispatcher.
+func (d *LeastConn) Name() string { return "least-conn" }
+
+// Rebuild implements Dispatcher.
+func (d *LeastConn) Rebuild(snap *registry.Snapshot) error { return d.rebuild(snap) }
+
+// Pick implements Dispatcher.
+func (d *LeastConn) Pick(Job) int {
+	st := d.st.Load()
+	best, min := 0, st.conns[0].v.Load()
+	for i := 1; i < len(st.conns); i++ {
+		if c := st.conns[i].v.Load(); c < min {
+			best, min = i, c
+		}
+	}
+	st.conns[best].v.Add(1)
+	return best
+}
+
+// Done implements Dispatcher.
+func (d *LeastConn) Done(_ Job, target int) { d.done(target) }
+
+// PowerOfTwo is the power-of-two-choices variant of least-connections:
+// hash the job to two distinct candidate instances and route to the
+// less loaded (lower index on ties). O(1) per pick with near-optimal
+// balance — the classic two-choices result — and, unlike LeastConn,
+// no full scan to contend on.
+type PowerOfTwo struct {
+	seed uint64
+	connTracker
+}
+
+// NewPowerOfTwo returns a power-of-two-choices dispatcher with the
+// given candidate-hash seed.
+func NewPowerOfTwo(seed uint64) *PowerOfTwo { return &PowerOfTwo{seed: seed} }
+
+// Name implements Dispatcher.
+func (d *PowerOfTwo) Name() string { return "p2c" }
+
+// Rebuild implements Dispatcher.
+func (d *PowerOfTwo) Rebuild(snap *registry.Snapshot) error { return d.rebuild(snap) }
+
+// Pick implements Dispatcher.
+func (d *PowerOfTwo) Pick(j Job) int {
+	st := d.st.Load()
+	n := len(st.conns)
+	u := jobBits(d.seed, j)
+	a := indexOf(u, n)
+	b := indexOf(u<<32, n)
+	if a == b {
+		if b++; b == n {
+			b = 0
+		}
+	}
+	ca, cb := st.conns[a].v.Load(), st.conns[b].v.Load()
+	if cb < ca || (cb == ca && b < a) {
+		a = b
+	}
+	st.conns[a].v.Add(1)
+	return a
+}
+
+// Done implements Dispatcher.
+func (d *PowerOfTwo) Done(_ Job, target int) { d.done(target) }
+
+// StaticWeighted is nginx's smooth weighted round-robin over the
+// sealed weights 1/b_i: deterministic, maximally interleaved, and in
+// expectation identical to the alias distribution — but every pick
+// mutates the full current-weight vector under a mutex, which is
+// exactly the serialization the lock-free alias sampler exists to
+// avoid. It is the contended baseline in the benchmarks.
+type StaticWeighted struct {
+	mu    sync.Mutex
+	view  *view
+	cur   []float64
+	total float64
+}
+
+// NewStaticWeighted returns a smooth weighted round-robin dispatcher.
+func NewStaticWeighted() *StaticWeighted { return &StaticWeighted{} }
+
+// Name implements Dispatcher.
+func (d *StaticWeighted) Name() string { return "weighted" }
+
+// Rebuild implements Dispatcher.
+func (d *StaticWeighted) Rebuild(snap *registry.Snapshot) error {
+	v, err := viewFromSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	total := 0.0
+	for _, w := range v.w {
+		total += w
+	}
+	d.mu.Lock()
+	d.view = v
+	d.cur = make([]float64, len(v.w))
+	d.total = total
+	d.mu.Unlock()
+	return nil
+}
+
+// Pick implements Dispatcher: each instance's current weight grows by
+// its static weight; the leader wins and pays the total back, which
+// interleaves picks as evenly as the weights allow.
+func (d *StaticWeighted) Pick(Job) int {
+	d.mu.Lock()
+	best := 0
+	for i, w := range d.view.w {
+		d.cur[i] += w
+		if d.cur[i] > d.cur[best] {
+			best = i
+		}
+	}
+	d.cur[best] -= d.total
+	d.mu.Unlock()
+	return best
+}
+
+// Done implements Dispatcher.
+func (d *StaticWeighted) Done(Job, int) {}
+
+// N implements Dispatcher.
+func (d *StaticWeighted) N() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.view == nil {
+		return 0
+	}
+	return len(d.view.ids)
+}
+
+// IPHash pins each client key to one instance by hashing the key over
+// the epoch's instance count — classic sticky sessions. Jobs carry no
+// per-pick state, so the mapping is a pure function of (seed, epoch
+// size, key): deterministic for any worker count. Like nginx's
+// ip_hash it remaps almost everything when the instance count
+// changes, and it is as unbalanced as its key distribution.
+type IPHash struct {
+	seed uint64
+	atomicView
+}
+
+// NewIPHash returns a sticky ip-hash dispatcher.
+func NewIPHash(seed uint64) *IPHash { return &IPHash{seed: seed} }
+
+// Name implements Dispatcher.
+func (d *IPHash) Name() string { return "ip-hash" }
+
+// Rebuild implements Dispatcher.
+func (d *IPHash) Rebuild(snap *registry.Snapshot) error { return d.rebuild(snap) }
+
+// Pick implements Dispatcher.
+func (d *IPHash) Pick(j Job) int {
+	v := d.v.Load()
+	return indexOf(mix64(d.seed^j.Key*0x9e3779b97f4a7c15), len(v.ids))
+}
+
+// Done implements Dispatcher.
+func (d *IPHash) Done(Job, int) {}
+
+// Greedy is the herding failure story from every client-side
+// balancing postmortem: each job independently picks the "best"
+// (fastest, maximum-weight) instance, because that is where one job
+// in isolation finishes soonest. Every client reasoning the same way
+// sends the entire arrival stream to instance 1, overloading it while
+// the rest of the fleet idles. It exists to be measured against, not
+// used; cmd/lbdispatch quantifies the collapse.
+type Greedy struct {
+	atomicView
+	best atomic.Int64
+}
+
+// NewGreedy returns the naive everyone-picks-the-fastest dispatcher.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Dispatcher.
+func (d *Greedy) Name() string { return "greedy" }
+
+// Rebuild implements Dispatcher.
+func (d *Greedy) Rebuild(snap *registry.Snapshot) error {
+	v, err := viewFromSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	best := 0
+	for i, w := range v.w {
+		if w > v.w[best] {
+			best = i
+		}
+	}
+	d.v.Store(v)
+	d.best.Store(int64(best))
+	return nil
+}
+
+// Pick implements Dispatcher.
+func (d *Greedy) Pick(Job) int { return int(d.best.Load()) }
+
+// Done implements Dispatcher.
+func (d *Greedy) Done(Job, int) {}

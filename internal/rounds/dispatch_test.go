@@ -1,0 +1,142 @@
+package rounds
+
+import (
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/registry"
+)
+
+// applied runs one Apply and fails the test on error.
+func applied(t *testing.T, s *RegistrySync, specs []ComputerSpec, rec *Record) *registry.Snapshot {
+	t.Helper()
+	snap, err := s.Apply(specs, rec)
+	if err != nil {
+		t.Fatalf("Apply(round %d): %v", rec.Round, err)
+	}
+	return snap
+}
+
+// wantActive checks that a sealed snapshot holds exactly the active
+// computers' true values, keyed through the sync's id map.
+func wantActive(t *testing.T, s *RegistrySync, snap *registry.Snapshot, specs []ComputerSpec, active []int) {
+	t.Helper()
+	if snap.N() != len(active) {
+		t.Fatalf("snapshot has %d instances, want %d", snap.N(), len(active))
+	}
+	for _, idx := range active {
+		id := s.ID(idx)
+		if id < 0 {
+			t.Fatalf("active computer %d has no registry id", idx)
+		}
+		v, ok := snap.Value(id)
+		if !ok {
+			t.Fatalf("active computer %d (id %d) missing from snapshot", idx, id)
+		}
+		if v != specs[idx].True {
+			t.Fatalf("computer %d sealed at %v, want %v", idx, v, specs[idx].True)
+		}
+	}
+}
+
+// TestRegistrySyncChurn replays hand-built membership records —
+// including a leave-and-rejoin — and checks the sealed epochs track
+// the active set exactly, with rejoiners admitted under fresh ids.
+func TestRegistrySyncChurn(t *testing.T) {
+	specs := []ComputerSpec{{True: 1}, {True: 2}, {True: 4}}
+	reg, err := registry.New(registry.Config{Rate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := NewRegistrySync(reg, len(specs))
+
+	snap := applied(t, sync, specs, &Record{Round: 0, Active: []int{0, 1, 2}})
+	wantActive(t, sync, snap, specs, []int{0, 1, 2})
+	firstID := sync.ID(1)
+
+	// Computer 1 drops out: its bid must leave the sealed epoch.
+	snap = applied(t, sync, specs, &Record{Round: 1, Active: []int{0, 2}})
+	wantActive(t, sync, snap, specs, []int{0, 2})
+	if sync.ID(1) != -1 {
+		t.Fatalf("departed computer still mapped to id %d", sync.ID(1))
+	}
+
+	// Rejoin: same computer, fresh registry id.
+	snap = applied(t, sync, specs, &Record{Round: 2, Active: []int{0, 1, 2}})
+	wantActive(t, sync, snap, specs, []int{0, 1, 2})
+	if sync.ID(1) == firstID {
+		t.Fatalf("rejoining computer recycled id %d", firstID)
+	}
+
+	// An epoch with nobody active still seals (dispatch rebuilds are
+	// expected to fail and keep their previous table).
+	snap = applied(t, sync, specs, &Record{Round: 3, Active: nil})
+	if snap.N() != 0 {
+		t.Fatalf("empty round sealed %d instances", snap.N())
+	}
+}
+
+// TestRegistrySyncRounds drives a real multi-round simulation with
+// join/leave churn, mirrors every record into a registry, and rebuilds
+// an alias dispatcher from each sealed epoch — the full rounds→epoch→
+// per-job-routing bridge.
+func TestRegistrySyncRounds(t *testing.T) {
+	specs := []ComputerSpec{
+		{True: 1},
+		{True: 2},
+		{True: 4, JoinRound: 2},
+		{True: 8, LeaveRound: 4},
+	}
+	res, err := Run(Config{
+		Computers: specs,
+		Rate:      12,
+		Rounds:    6,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := registry.New(registry.Config{Rate: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := NewRegistrySync(reg, len(specs))
+	d, err := dispatch.New("alias", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lastEpoch uint64
+	for i := range res.Records {
+		rec := &res.Records[i]
+		snap := applied(t, sync, specs, rec)
+		wantActive(t, sync, snap, specs, rec.Active)
+		if snap.Epoch() <= lastEpoch {
+			t.Fatalf("round %d sealed epoch %d, not after %d", rec.Round, snap.Epoch(), lastEpoch)
+		}
+		lastEpoch = snap.Epoch()
+
+		if err := d.Rebuild(snap); err != nil {
+			t.Fatalf("round %d rebuild: %v", rec.Round, err)
+		}
+		if d.N() != len(rec.Active) {
+			t.Fatalf("round %d dispatcher sees %d instances, want %d", rec.Round, d.N(), len(rec.Active))
+		}
+		for j := 0; j < 64; j++ {
+			idx := d.Pick(dispatch.Job{ID: int64(j), Key: uint64(rec.Round)})
+			if idx < 0 || idx >= len(rec.Active) {
+				t.Fatalf("round %d pick %d out of range [0, %d)", rec.Round, idx, len(rec.Active))
+			}
+		}
+	}
+
+	// The churn actually happened: round 0 ran without computer 2,
+	// the last round without computer 3.
+	if got := len(res.Records[0].Active); got != 3 {
+		t.Fatalf("round 0 active %d computers, want 3", got)
+	}
+	if got := len(res.Records[len(res.Records)-1].Active); got != 3 {
+		t.Fatalf("final round active %d computers, want 3", got)
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// SplitPoisson decomposes a Poisson arrival stream into parts
+// independent substreams whose superposition is again Poisson(rate):
+// by the thinning/superposition property, `parts` independent
+// Poisson(rate/parts) processes merge into one Poisson(rate) process.
+// The total job budget n is split as evenly as possible, with the
+// remainder going to the lowest-index parts, and each substream draws
+// from its own generator split off rng — so concurrent workers can
+// each drain one part with no shared state and the whole ensemble is
+// reproducible from the parent seed.
+func SplitPoisson(rate float64, n, parts int, dist SizeDist, rng *numeric.Rand) []*Poisson {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("workload: invalid rate %v", rate))
+	}
+	if parts <= 0 {
+		panic("workload: non-positive part count")
+	}
+	if n < parts {
+		panic(fmt.Sprintf("workload: cannot split %d jobs into %d parts", n, parts))
+	}
+	if rng == nil {
+		rng = numeric.NewRand(1)
+	}
+	per, rem := n/parts, n%parts
+	srcs := make([]*Poisson, parts)
+	for i := range srcs {
+		k := per
+		if i < rem {
+			k++
+		}
+		srcs[i] = NewPoisson(rate/float64(parts), k, dist, rng.Split())
+	}
+	return srcs
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestSplitPoissonBudget(t *testing.T) {
+	srcs := SplitPoisson(100, 10_007, 8, nil, numeric.NewRand(1))
+	if len(srcs) != 8 {
+		t.Fatalf("got %d parts, want 8", len(srcs))
+	}
+	total := 0
+	for i, src := range srcs {
+		k := 0
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			k++
+		}
+		// 10007 = 8·1250 + 7: the first seven parts carry the remainder.
+		want := 1250
+		if i < 7 {
+			want = 1251
+		}
+		if k != want {
+			t.Fatalf("part %d emitted %d jobs, want %d", i, k, want)
+		}
+		total += k
+	}
+	if total != 10_007 {
+		t.Fatalf("parts emitted %d jobs total, want 10007", total)
+	}
+}
+
+// TestSplitPoissonSuperposition merges the substreams by arrival time
+// and checks the combined process looks Poisson(rate): mean
+// interarrival 1/rate and interarrival CV near 1.
+func TestSplitPoissonSuperposition(t *testing.T) {
+	const rate, n = 50.0, 60_000
+	srcs := SplitPoisson(rate, n, 6, nil, numeric.NewRand(42))
+	arrivals := make([]float64, 0, n)
+	for _, src := range srcs {
+		for {
+			j, ok := src.Next()
+			if !ok {
+				break
+			}
+			arrivals = append(arrivals, j.Arrival)
+		}
+	}
+	sort.Float64s(arrivals)
+
+	var mean, m2 float64
+	count := 0.0
+	last := 0.0
+	for _, a := range arrivals {
+		d := a - last
+		last = a
+		count++
+		delta := d - mean
+		mean += delta / count
+		m2 += delta * (d - mean)
+	}
+	if got, want := mean, 1/rate; math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("merged mean interarrival = %v, want ~%v", got, want)
+	}
+	cv := math.Sqrt(m2/count) / mean
+	if math.Abs(cv-1) > 0.03 {
+		t.Fatalf("merged interarrival CV = %v, want ~1 (Poisson)", cv)
+	}
+}
+
+func TestSplitPoissonDeterministic(t *testing.T) {
+	drain := func() []float64 {
+		srcs := SplitPoisson(10, 1000, 4, ExpSize{}, numeric.NewRand(7))
+		out := make([]float64, 0, 2000)
+		for _, src := range srcs {
+			for {
+				j, ok := src.Next()
+				if !ok {
+					break
+				}
+				out = append(out, j.Arrival, j.Size)
+			}
+		}
+		return out
+	}
+	a, b := drain(), drain()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSplitPoissonPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"rate":  func() { SplitPoisson(0, 10, 2, nil, nil) },
+		"parts": func() { SplitPoisson(1, 10, 0, nil, nil) },
+		"n":     func() { SplitPoisson(1, 1, 2, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
