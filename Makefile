@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check fuzz difftest chaos bench bench-rounds bench-registry bench-dispatch
+.PHONY: build test vet lint race check fuzz difftest chaos wal bench bench-rounds bench-registry bench-dispatch bench-wal
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,20 @@ difftest:
 	$(GO) test -race -run 'TestAliasDifferentialFrequencies|TestAccountingWorkerInvariance|TestAliasRebuildRaceClean' -count=1 ./internal/dispatch
 	$(GO) test -run 'TestPickAllocFree' -count=1 ./internal/dispatch
 
+# Durable-registry gate: the WAL differential suite under -race
+# (recovery vs a live alloc.Stream across 32 seeds and shard counts,
+# the kill-9 truncation fuzz at every byte offset of the log tail, the
+# concurrent journal ordering test), plus the append-path allocation
+# guard, which needs a non-race run because AllocsPerRun counts differ
+# under the instrumented allocator.
+wal:
+	$(GO) test -race -run 'TestRecoveryMatchesLiveHistory|TestTruncationFuzzEveryTailOffset|TestConcurrentJournalRecovery|TestCompactionAndSnapshotFallback' -count=1 ./internal/wal
+	$(GO) test -run 'TestWALAppendAllocFree' -count=1 ./internal/wal
+
 # The acceptance gate: static analysis, the differential payment tests
-# under -race, then the full suite (chaos matrix included) under the
-# race detector.
-check: lint difftest race
+# under -race, the durable-registry suite, then the full suite (chaos
+# matrix included) under the race detector.
+check: lint difftest wal race
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/supervise
@@ -90,3 +100,15 @@ bench-dispatch:
 	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_dispatch.json
 	@rm -f .bench_raw.txt
 	@cat BENCH_dispatch.json
+
+# Record the WAL baseline (zero-alloc append throughput, snapshot
+# serialization, and full crash recovery of 1M- and 10M-record logs) as
+# stable JSON. Commit BENCH_wal.json to track regressions; the recovery
+# benchmarks run once each because every iteration replays the whole
+# log.
+bench-wal:
+	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend|BenchmarkWALSnapshot' -benchmem ./internal/wal > .bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkWALRecover' -benchmem -benchtime 1x -timeout 20m ./internal/wal >> .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_wal.json
+	@rm -f .bench_raw.txt
+	@cat BENCH_wal.json

@@ -237,7 +237,9 @@ func drive(d dispatch.Dispatcher, jobs, w int, rate float64, dist workload.SizeD
 	elapsed := time.Since(start)
 	merged := tallies[0]
 	for _, tal := range tallies[1:] {
-		merged.Merge(tal)
+		if err := merged.Merge(tal); err != nil {
+			fatalf("merge tallies: %v", err)
+		}
 	}
 	return merged, elapsed
 }

@@ -21,6 +21,15 @@
 //	lbserve -health
 //	lbserve -health -plan crash=1,flap=5@6:0.5 -ticks 80 -fault-until 45
 //
+// With -wal-dir the sweep journals every registry into a crash-
+// recoverable write-ahead log (one subdirectory per sweep point), and
+// with -wal-demo the command runs the restart-and-recover story
+// instead: serve, seal a corrected epoch, fsync, kill -9, recover, and
+// verify the recovered epoch is bit-for-bit the pre-crash one:
+//
+//	lbserve -wal-demo -wal-dir /tmp/lbwal -agents 50000 -ops 500000
+//	lbserve -wal-dir /tmp/lbwal -wal-sync seal -snapshot-every 4
+//
 // Throughput scales with worker count only up to the host's cores:
 // on a single-core box the sweep stays flat (see README, "Concurrent
 // serving").
@@ -37,11 +46,14 @@ import (
 	"sync"
 	"time"
 
+	"path/filepath"
+
 	"repro/internal/mech"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/registry"
 	"repro/internal/report"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -63,6 +75,10 @@ func main() {
 	faultFrom := flag.Int("fault-from", 5, "first tick the -health fault plan is active")
 	faultUntil := flag.Int("fault-until", 45, "first tick the -health faults are repaired (0 = never)")
 	healthEvery := flag.Int("health-every", 20, "ticks between -health state tables (0 = final only)")
+	walDir := flag.String("wal-dir", "", "journal each registry into a crash-recoverable write-ahead log under this directory")
+	walSync := flag.String("wal-sync", "batch", "WAL fsync policy: batch, seal, interval or none")
+	snapshotEvery := flag.Int("snapshot-every", 8, "sealed epochs between WAL snapshot compactions (0 = never)")
+	walDemo := flag.Bool("wal-demo", false, "run the crash/restart recovery demo (needs -wal-dir pointing at a new directory)")
 	flag.Parse()
 
 	if *healthMode {
@@ -101,6 +117,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbserve: need -agents >= 2, -ops > 0 and -read-frac in [0,1]")
 		os.Exit(1)
 	}
+
+	var syncPolicy wal.SyncPolicy
+	if *walDir != "" || *walDemo {
+		if syncPolicy, err = wal.ParseSyncPolicy(*walSync); err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve:", err)
+			os.Exit(1)
+		}
+	}
+	if *walDemo {
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "lbserve: -wal-demo needs -wal-dir")
+			os.Exit(1)
+		}
+		var ob *obs.Observer
+		if *metrics {
+			ob = obs.New(0)
+		}
+		code := runWALDemo(walDemoConfig{
+			dir:       *walDir,
+			sync:      syncPolicy,
+			snapEvery: *snapshotEvery,
+			agents:    *agents,
+			ops:       *ops,
+			workers:   workers[len(workers)-1],
+			seed:      *seed,
+			rate:      *rate,
+			shards:    *shards,
+			ob:        ob,
+		}, os.Stdout)
+		if code == 0 && *metrics {
+			fmt.Println()
+			if err := ob.Dump(os.Stdout, true, false); err != nil {
+				fmt.Fprintln(os.Stderr, "lbserve:", err)
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 	stopProfiles, err := profile.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbserve:", err)
@@ -110,9 +164,13 @@ func main() {
 
 	var ob *obs.Observer
 	var met *obs.RegistryMetrics
+	var walMet *obs.WALMetrics
 	if *metrics {
 		ob = obs.New(0)
 		met = ob.RegistryMetrics()
+		if *walDir != "" {
+			walMet = ob.WALMetrics()
+		}
 	}
 
 	tab := report.NewTable(
@@ -121,8 +179,20 @@ func main() {
 		"Workers", "Elapsed", "Ops/sec", "Speedup", "Epochs", "Mean read", "p99 read")
 	var base float64
 	var last *registry.Registry
-	for _, w := range workers {
-		r, err := registry.New(registry.Config{Rate: *rate, Shards: *shards, Metrics: met})
+	var lastWAL *wal.Writer
+	for i, w := range workers {
+		cfg := registry.Config{Rate: *rate, Shards: *shards, Metrics: met}
+		var ww *wal.Writer
+		if *walDir != "" {
+			ww, err = wal.Create(filepath.Join(*walDir, fmt.Sprintf("w%d", w)),
+				wal.Options{Sync: syncPolicy, SnapshotEvery: *snapshotEvery, Metrics: walMet})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lbserve:", err)
+				os.Exit(1)
+			}
+			cfg.Journal = ww
+		}
+		r, err := registry.New(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lbserve:", err)
 			os.Exit(1)
@@ -149,6 +219,14 @@ func main() {
 			fmt.Sprintf("%.0fns", res.p99Read*1e9),
 		)
 		last = r
+		if ww != nil {
+			if i == len(workers)-1 {
+				lastWAL = ww // stays open for the final settlement seal
+			} else if err := ww.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lbserve:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	tab.Render(os.Stdout)
 
@@ -166,6 +244,13 @@ func main() {
 	fmt.Printf("\nfinal epoch %d: %d agents, S=%.6g, L*=%.6g, total payment %.6g (settled in %s)\n",
 		snap.Epoch(), snap.N(), snap.Sum(), snap.OptimalLatency(),
 		out.TotalPayment(), settle.Round(time.Microsecond))
+	if lastWAL != nil {
+		if err := lastWAL.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("write-ahead log committed under %s (sync=%s)\n", *walDir, syncPolicy)
+	}
 
 	if *metrics {
 		fmt.Println()

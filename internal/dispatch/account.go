@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -32,12 +33,18 @@ func (t *Tally) Observe(target int, size float64) {
 // Merge folds another tally into t. Job counts are integers, so the
 // merged counts are independent of merge order and worker
 // partitioning; Work is floating point and merge-order dependent in
-// its last bits.
-func (t *Tally) Merge(from *Tally) {
+// its last bits. The tallies must cover the same instance set: a
+// length mismatch is a *alloc.ValueError (a shorter from used to
+// panic, a longer one silently dropped its excess instances).
+func (t *Tally) Merge(from *Tally) error {
+	if len(from.Jobs) != len(t.Jobs) || len(from.Work) != len(t.Work) {
+		return &alloc.ValueError{Field: "len(from)", Value: float64(len(from.Jobs))}
+	}
 	for i := range t.Jobs {
 		t.Jobs[i] += from.Jobs[i]
 		t.Work[i] += from.Work[i]
 	}
+	return nil
 }
 
 // Total returns the merged job count.
@@ -94,6 +101,11 @@ func (a *Account) MaxShare() (share float64, instance int) {
 // span jobs/R. The mechanism optimum to compare against is
 // snapshot.OptimalLatency()/R per job (mean R/S).
 func AccountLinear(tal *Tally, ts []float64, horizon float64) (*Account, error) {
+	for i, t := range ts {
+		if !(t > 0) || math.IsInf(t, 0) {
+			return nil, &alloc.ValueError{Field: fmt.Sprintf("t[%d]", i), Value: t}
+		}
+	}
 	return account(tal, horizon, func(i int, rate float64) float64 {
 		return ts[i] * rate
 	}, len(ts))
@@ -105,6 +117,11 @@ func AccountLinear(tal *Tally, ts []float64, horizon float64) (*Account, error) 
 // realized arrival rate x̂_i reaches capacity, the signature of
 // herding collapse.
 func AccountMM1(tal *Tally, mus []float64, horizon float64) (*Account, error) {
+	for i, mu := range mus {
+		if !(mu > 0) || math.IsInf(mu, 0) {
+			return nil, &alloc.ValueError{Field: fmt.Sprintf("mu[%d]", i), Value: mu}
+		}
+	}
 	return account(tal, horizon, func(i int, rate float64) float64 {
 		if rate >= mus[i] {
 			return math.Inf(1)

@@ -1,0 +1,91 @@
+package dispatch
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+// Regression tests for the validation gaps in the accounting layer: a
+// NaN or infinite model parameter used to flow straight into the
+// latency arithmetic and surface as NaN/garbage means, and Tally.Merge
+// used to panic on a shorter tally and silently drop the excess of a
+// longer one.
+
+func TestAccountRejectsNonFiniteModelParams(t *testing.T) {
+	tal := NewTally(3)
+	tal.Observe(0, 1)
+	tal.Observe(1, 1)
+	tal.Observe(2, 1)
+
+	cases := []struct {
+		name  string
+		run   func(params []float64) (*Account, error)
+		field string
+	}{
+		{"linear", func(p []float64) (*Account, error) { return AccountLinear(tal, p, 10) }, "t[1]"},
+		{"mm1", func(p []float64) (*Account, error) { return AccountMM1(tal, p, 10) }, "mu[1]"},
+	}
+	for _, tc := range cases {
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -2} {
+			params := []float64{1, bad, 3}
+			_, err := tc.run(params)
+			var ve *alloc.ValueError
+			if !errors.As(err, &ve) {
+				t.Fatalf("%s(%v): got %v, want *alloc.ValueError", tc.name, bad, err)
+			}
+			if ve.Field != tc.field {
+				t.Fatalf("%s(%v): field %q, want %q", tc.name, bad, ve.Field, tc.field)
+			}
+		}
+		// Valid params still account cleanly.
+		acc, err := tc.run([]float64{1, 2, 3})
+		if err != nil {
+			t.Fatalf("%s valid: %v", tc.name, err)
+		}
+		if math.IsNaN(acc.Mean) || math.IsInf(acc.Mean, 0) {
+			t.Fatalf("%s valid: mean %v", tc.name, acc.Mean)
+		}
+	}
+}
+
+func TestTallyMergeLengthMismatch(t *testing.T) {
+	base := NewTally(4)
+	base.Observe(0, 1)
+	base.Observe(3, 2)
+
+	// Shorter from: used to panic with an index error.
+	short := NewTally(2)
+	short.Observe(1, 1)
+	if err := base.Merge(short); err == nil {
+		t.Fatalf("merging a shorter tally succeeded")
+	}
+
+	// Longer from: used to silently drop the excess instances.
+	long := NewTally(6)
+	long.Observe(5, 1)
+	var ve *alloc.ValueError
+	if err := base.Merge(long); !errors.As(err, &ve) {
+		t.Fatalf("merging a longer tally: got %v, want *alloc.ValueError", err)
+	} else if !strings.Contains(ve.Field, "len") {
+		t.Fatalf("unexpected field %q", ve.Field)
+	}
+
+	// The failed merges must not have corrupted the receiver.
+	if base.Total() != 2 || base.Jobs[0] != 1 || base.Jobs[3] != 1 {
+		t.Fatalf("receiver mutated by rejected merge: %+v", base)
+	}
+
+	// A matching merge still works.
+	ok := NewTally(4)
+	ok.Observe(0, 1)
+	if err := base.Merge(ok); err != nil {
+		t.Fatal(err)
+	}
+	if base.Jobs[0] != 2 {
+		t.Fatalf("valid merge lost counts: %+v", base)
+	}
+}

@@ -161,7 +161,9 @@ func TestAccountingWorkerInvariance(t *testing.T) {
 			wg.Wait()
 			merged := NewTally(n)
 			for _, tal := range tallies {
-				merged.Merge(tal)
+				if err := merged.Merge(tal); err != nil {
+					t.Fatal(err)
+				}
 			}
 			acc, err := AccountMM1(merged, mus, horizon)
 			if err != nil {

@@ -518,6 +518,124 @@ func (m *DispatchMetrics) Accounted(maxShare float64, unstable int) {
 	m.Unstable.Set(float64(unstable))
 }
 
+// WALMetrics instruments the write-ahead log: append and group-commit
+// traffic, fsync policy behavior, snapshot compaction and crash
+// recovery. Append-path records are plain atomic adds and appends are
+// timed on a sample (every 1024th), so the WAL's zero-allocation
+// append guarantee holds with metrics on or off.
+type WALMetrics struct {
+	// Appends counts journaled records; AppendedBytes the encoded
+	// bytes they contributed.
+	Appends, AppendedBytes *Counter
+	// Batches counts group-commit flushes (buffer writes to the
+	// segment file); Fsyncs the flushes that were made durable;
+	// FlushedBytes the bytes handed to the kernel.
+	Batches, Fsyncs, FlushedBytes *Counter
+	// Segments counts log segment files created; Compacted counts
+	// segment files deleted by snapshot compaction.
+	Segments, Compacted *Counter
+	// Snapshots counts snapshot sidecar files made durable.
+	Snapshots *Counter
+	// Recoveries counts crash recoveries run; ReplayedRecords and
+	// ReplayedBytes size the log tails they replayed.
+	Recoveries, ReplayedRecords, ReplayedBytes *Counter
+	// AppendSeconds observes sampled append latencies (encode plus any
+	// flush the append triggered); CommitSeconds observes flush+fsync
+	// latencies.
+	AppendSeconds, CommitSeconds *Histogram
+}
+
+// walLatencyBuckets resolve the sub-microsecond encode path and the
+// millisecond fsync path in one layout.
+var walLatencyBuckets = []float64{
+	1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1,
+}
+
+// NewWALMetrics registers the write-ahead-log bundle on r.
+func NewWALMetrics(r *Registry) *WALMetrics {
+	if r == nil {
+		return nil
+	}
+	return &WALMetrics{
+		Appends:         r.Counter("lb_wal_appends_total", "records appended to the write-ahead log"),
+		AppendedBytes:   r.Counter("lb_wal_appended_bytes_total", "encoded record bytes appended"),
+		Batches:         r.Counter("lb_wal_batches_total", "group-commit batches flushed to the segment file"),
+		Fsyncs:          r.Counter("lb_wal_fsyncs_total", "segment fsyncs issued"),
+		FlushedBytes:    r.Counter("lb_wal_flushed_bytes_total", "bytes written to segment files"),
+		Segments:        r.Counter("lb_wal_segments_created_total", "log segment files created"),
+		Compacted:       r.Counter("lb_wal_segments_compacted_total", "log segment files deleted by snapshot compaction"),
+		Snapshots:       r.Counter("lb_wal_snapshots_total", "snapshot sidecar files made durable"),
+		Recoveries:      r.Counter("lb_wal_recoveries_total", "crash recoveries run"),
+		ReplayedRecords: r.Counter("lb_wal_replayed_records_total", "log records replayed during recovery"),
+		ReplayedBytes:   r.Counter("lb_wal_replayed_bytes_total", "log bytes replayed during recovery"),
+		AppendSeconds:   r.Histogram("lb_wal_append_seconds", "sampled append latency", walLatencyBuckets),
+		CommitSeconds:   r.Histogram("lb_wal_commit_seconds", "flush+fsync latency", walLatencyBuckets),
+	}
+}
+
+// Appended records one journaled record of n encoded bytes.
+func (m *WALMetrics) Appended(n int) {
+	if m == nil {
+		return
+	}
+	m.Appends.Inc()
+	m.AppendedBytes.Add(int64(n))
+}
+
+// AppendSampled records one sampled append latency.
+func (m *WALMetrics) AppendSampled(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.AppendSeconds.Observe(seconds)
+}
+
+// Flushed records one group-commit batch of n bytes and whether it was
+// fsynced; seconds is the flush(+fsync) latency (negative = untimed).
+func (m *WALMetrics) Flushed(n int, synced bool, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.FlushedBytes.Add(int64(n))
+	if synced {
+		m.Fsyncs.Inc()
+	}
+	if seconds >= 0 {
+		m.CommitSeconds.Observe(seconds)
+	}
+}
+
+// SegmentCreated records one new log segment file.
+func (m *WALMetrics) SegmentCreated() {
+	if m == nil {
+		return
+	}
+	m.Segments.Inc()
+}
+
+// Compacted records one durable snapshot and the n whole segment files
+// it retired.
+func (m *WALMetrics) CompactedSegments(n int) {
+	if m == nil {
+		return
+	}
+	m.Snapshots.Inc()
+	m.Compacted.Add(int64(n))
+}
+
+// Recovered records one crash recovery that replayed records totalling
+// bytes from the log tail.
+func (m *WALMetrics) Recovered(records int, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.Recoveries.Inc()
+	m.ReplayedRecords.Add(int64(records))
+	m.ReplayedBytes.Add(bytes)
+}
+
 // Observer bundles a registry, a trace ring and every layer bundle,
 // so a CLI can enable full observability with one value and each
 // layer can pull its slice. A nil *Observer disables everything.
@@ -526,8 +644,8 @@ type Observer struct {
 	Registry *Registry
 	// Trace is the shared event ring.
 	Trace *Trace
-	// Round, Supervise, Engine, Faults, BidRegistry, Health and
-	// Dispatch are the layer bundles.
+	// Round, Supervise, Engine, Faults, BidRegistry, Health, Dispatch
+	// and WAL are the layer bundles.
 	Round       *RoundMetrics
 	Supervise   *SuperviseMetrics
 	Engine      *EngineMetrics
@@ -535,6 +653,7 @@ type Observer struct {
 	BidRegistry *RegistryMetrics
 	Health      *HealthMetrics
 	Dispatch    *DispatchMetrics
+	WAL         *WALMetrics
 }
 
 // New returns an Observer with every bundle registered and a trace
@@ -553,6 +672,7 @@ func New(traceCap int) *Observer {
 		BidRegistry: NewRegistryMetrics(r),
 		Health:      NewHealthMetrics(r),
 		Dispatch:    NewDispatchMetrics(r),
+		WAL:         NewWALMetrics(r),
 	}
 }
 
@@ -614,6 +734,15 @@ func (o *Observer) DispatchMetrics() *DispatchMetrics {
 		return nil
 	}
 	return o.Dispatch
+}
+
+// WALMetrics returns the write-ahead-log bundle (nil on a nil
+// observer).
+func (o *Observer) WALMetrics() *WALMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.WAL
 }
 
 // Emit forwards an event to the trace ring (no-op on a nil observer).

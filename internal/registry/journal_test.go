@@ -1,0 +1,163 @@
+package registry
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+// recJournal records every journal callback for inspection.
+type recJournal struct {
+	mu      sync.Mutex
+	adds    map[int]float64
+	updates map[int]float64
+	removes []int
+	rates   []float64
+	seals   []SealEvent
+	pubs    []uint64
+}
+
+func newRecJournal() *recJournal {
+	return &recJournal{adds: map[int]float64{}, updates: map[int]float64{}}
+}
+
+func (j *recJournal) Added(id int, t float64) {
+	j.mu.Lock()
+	j.adds[id] = t
+	j.mu.Unlock()
+}
+
+func (j *recJournal) Updated(id int, t float64) {
+	j.mu.Lock()
+	j.updates[id] = t
+	j.mu.Unlock()
+}
+
+func (j *recJournal) Removed(id int) {
+	j.mu.Lock()
+	j.removes = append(j.removes, id)
+	j.mu.Unlock()
+}
+
+func (j *recJournal) RateChanged(rate float64) {
+	j.mu.Lock()
+	j.rates = append(j.rates, rate)
+	j.mu.Unlock()
+}
+
+func (j *recJournal) Sealed(ev SealEvent) {
+	j.mu.Lock()
+	// Copy the live set out: ev.T is valid only during the call.
+	cp := ev
+	cp.T = append([]float64(nil), ev.T...)
+	j.seals = append(j.seals, cp)
+	j.mu.Unlock()
+}
+
+func (j *recJournal) Published(snap *Snapshot) {
+	j.mu.Lock()
+	j.pubs = append(j.pubs, snap.Epoch())
+	j.mu.Unlock()
+}
+
+func TestJournalObservesMutationsAndSeals(t *testing.T) {
+	j := newRecJournal()
+	r, err := New(Config{Rate: 10, Shards: 4, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Add(2)
+	b, _ := r.Add(4)
+	if err := r.Update(a, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetRate(20); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Seal()
+
+	if j.adds[a] != 2 || j.adds[b] != 4 {
+		t.Fatalf("adds not journaled: %v", j.adds)
+	}
+	if j.updates[a] != 3 {
+		t.Fatalf("update not journaled: %v", j.updates)
+	}
+	if len(j.removes) != 1 || j.removes[0] != b {
+		t.Fatalf("remove not journaled: %v", j.removes)
+	}
+	if len(j.rates) != 1 || j.rates[0] != 20 {
+		t.Fatalf("rate change not journaled: %v", j.rates)
+	}
+	// New seals epoch 1 internally, so the explicit seal is epoch 2.
+	last := j.seals[len(j.seals)-1]
+	if last.Epoch != snap.Epoch() || last.Rate != 20 || last.Live != 1 || last.Next != 2 {
+		t.Fatalf("seal event %+v does not match snapshot (epoch %d)", last, snap.Epoch())
+	}
+	if last.T[a] != 3 || last.T[b] != 0 {
+		t.Fatalf("seal event population %v, want id %d at 3 and id %d absent", last.T, a, b)
+	}
+	if j.pubs[len(j.pubs)-1] != snap.Epoch() {
+		t.Fatalf("published epochs %v missing %d", j.pubs, snap.Epoch())
+	}
+}
+
+func TestAttachJournalDetach(t *testing.T) {
+	r, err := New(Config{Rate: 10, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(1); err != nil { // unjournaled
+		t.Fatal(err)
+	}
+	j := newRecJournal()
+	r.AttachJournal(j)
+	id, _ := r.Add(2)
+	if j.adds[id] != 2 || len(j.adds) != 1 {
+		t.Fatalf("attached journal saw %v, want only id %d", j.adds, id)
+	}
+	r.AttachJournal(nil)
+	if _, err := r.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.adds) != 1 {
+		t.Fatalf("detached journal still receiving mutations: %v", j.adds)
+	}
+}
+
+func TestRestoreAgent(t *testing.T) {
+	r, err := New(Config{Rate: 10, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreAgent(5, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Value(5); !ok || v != 2.5 {
+		t.Fatalf("restored agent: %v %v", v, ok)
+	}
+	if err := r.RestoreAgent(5, 1); err == nil {
+		t.Fatalf("double restore of a live id succeeded")
+	}
+	var ve *alloc.ValueError
+	if err := r.RestoreAgent(6, math.Inf(1)); !errors.As(err, &ve) {
+		t.Fatalf("non-finite bid restored: %v", err)
+	}
+	if err := r.RestoreAgent(-1, 1); err == nil {
+		t.Fatalf("negative id restored")
+	}
+	// The id counter is raised past every restored id.
+	if id, _ := r.Add(1); id != 6 {
+		t.Fatalf("Add assigned %d after restoring id 5, want 6", id)
+	}
+	r.RestoreNext(100)
+	r.RestoreNext(50) // never lowers
+	if id, _ := r.Add(1); id != 100 {
+		t.Fatalf("Add assigned %d after RestoreNext(100)", id)
+	}
+}

@@ -72,6 +72,10 @@ type Config struct {
 	Shards int
 	// Metrics is the optional instrumentation bundle (nil disables).
 	Metrics *obs.RegistryMetrics
+	// Journal is the optional write-ahead hook on the mutation and
+	// seal paths (nil disables; see Journal). internal/wal implements
+	// it to make the registry crash-recoverable.
+	Journal Journal
 }
 
 // Registry is the concurrent sharded bid registry. All methods are
@@ -86,6 +90,7 @@ type Registry struct {
 	snap    atomic.Pointer[Snapshot]
 	sealMu  sync.Mutex
 	met     *obs.RegistryMetrics
+	journal Journal // read under a shard lock or sealMu; see AttachJournal
 }
 
 // shard is one lock stripe: a dense slot array of bids with a free
@@ -129,7 +134,7 @@ func New(cfg Config) (*Registry, error) {
 	for pow < n {
 		pow <<= 1
 	}
-	r := &Registry{shards: make([]shard, pow), mask: pow - 1, bits: shardBits(pow - 1), met: cfg.Metrics}
+	r := &Registry{shards: make([]shard, pow), mask: pow - 1, bits: shardBits(pow - 1), met: cfg.Metrics, journal: cfg.Journal}
 	r.rateBit.Store(math.Float64bits(cfg.Rate))
 	r.Seal()
 	return r, nil
@@ -143,12 +148,19 @@ func (r *Registry) Rate() float64 { return math.Float64frombits(r.rateBit.Load()
 
 // SetRate changes the total arrival rate; it takes effect at the next
 // Seal. A negative or non-finite rate is a *alloc.ValueError, the
-// same contract as alloc.Stream.
+// same contract as alloc.Stream. Rate changes serialize against seals
+// (they share the seal mutex) so a journal sees them in the order the
+// epochs observed them.
 func (r *Registry) SetRate(rate float64) error {
 	if err := checkRate(rate); err != nil {
 		return err
 	}
+	r.sealMu.Lock()
 	r.rateBit.Store(math.Float64bits(rate))
+	if j := r.journal; j != nil {
+		j.RateChanged(rate)
+	}
+	r.sealMu.Unlock()
 	return nil
 }
 
@@ -186,6 +198,9 @@ func (r *Registry) Add(t float64) (int, error) {
 	sh.padd(v)
 	sh.live++
 	sh.bump(r.met)
+	if j := r.journal; j != nil {
+		j.Added(id, t)
+	}
 	sh.mu.Unlock()
 
 	r.met.Mutated("add", false)
@@ -211,6 +226,9 @@ func (r *Registry) Remove(id int) error {
 	sh.free = append(sh.free, slot)
 	sh.live--
 	sh.bump(r.met)
+	if j := r.journal; j != nil {
+		j.Removed(id)
+	}
 	sh.mu.Unlock()
 
 	r.met.Mutated("remove", false)
@@ -247,6 +265,9 @@ func (r *Registry) Update(id int, t float64) error {
 	sh.ts[slot] = t
 	sh.inv[slot] = v
 	sh.bump(r.met)
+	if j := r.journal; j != nil {
+		j.Updated(id, t)
+	}
 	sh.mu.Unlock()
 
 	r.met.Mutated("update", coalesced)
@@ -400,6 +421,13 @@ func (r *Registry) SealCorrected(c *Correction) (*Snapshot, error) {
 	}
 	rate := r.Rate()
 	epoch := r.epoch.Add(1)
+	// The journal barrier: with every shard lock still held, mutations
+	// journaled before this record are exactly those the copy above
+	// observed (see Journal). The t slice handed over is the seal's
+	// uncorrected working copy, valid only during the call.
+	if j := r.journal; j != nil {
+		j.Sealed(SealEvent{Epoch: epoch, Rate: rate, Next: maxID, Live: live, Correction: c, T: t})
+	}
 	for i := range r.shards {
 		r.shards[i].mu.Unlock()
 	}
@@ -442,6 +470,11 @@ func (r *Registry) SealCorrected(c *Correction) (*Snapshot, error) {
 	}
 	r.snap.Store(snap)
 	r.met.Sealed(len(ids), time.Since(start).Seconds())
+	// Deferred journal I/O happens here, outside the shard locks but
+	// still serialized by the seal mutex.
+	if j := r.journal; j != nil {
+		j.Published(snap)
+	}
 	return snap, nil
 }
 

@@ -1,0 +1,97 @@
+package wal
+
+// Go-fuzz harness for the segment reader: arbitrary bytes are written
+// as the single segment of a log and recovered. Recovery may refuse
+// (corruption) or succeed on a durable prefix; it must never panic,
+// hang, or allocate absurdly. The committed corpus under
+// testdata/fuzz/FuzzRecoverSegment pins the interesting shapes: a real
+// log, a truncated one, a bit-flipped one, and degenerate headers.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// fuzzSeedLog builds a small real log and returns its segment bytes.
+func fuzzSeedLog(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	w, err := Create(dir, Options{Sync: SyncNone})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r, err := registry.New(registry.Config{Rate: 5, Shards: 2, Journal: w})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ids := make([]int, 0, 6)
+	for i := 0; i < 6; i++ {
+		id, err := r.Add(float64(i + 1))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := r.Update(ids[1], 2.5); err != nil {
+		tb.Fatal(err)
+	}
+	if err := r.Remove(ids[2]); err != nil {
+		tb.Fatal(err)
+	}
+	if err := r.SetRate(9); err != nil {
+		tb.Fatal(err)
+	}
+	r.Seal()
+	if _, err := r.SealCorrected(&registry.Correction{
+		Drop:    map[int]bool{ids[0]: true},
+		Weights: map[int]float64{ids[3]: 0.5},
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func FuzzRecoverSegment(f *testing.F) {
+	seed := fuzzSeedLog(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-7]) // torn tail
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add(seed[:segHeaderLen]) // header only
+	f.Add([]byte{})
+	f.Add([]byte("LBWAL001garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, info, err := Recover(dir, registry.Config{Rate: 1, Shards: 4})
+		if err != nil {
+			return // refusing damaged input is a valid outcome
+		}
+		if r == nil || info == nil {
+			t.Fatalf("nil registry or info without error")
+		}
+		// Whatever was recovered must be internally consistent: the
+		// published snapshot reseal-stable and the id space sane.
+		snap := r.Snapshot()
+		if snap == nil {
+			t.Fatalf("recovered registry has no sealed snapshot")
+		}
+		if got := r.Seal(); got.N() != r.Live() {
+			t.Fatalf("reseal live count %d != registry live %d", got.N(), r.Live())
+		}
+	})
+}

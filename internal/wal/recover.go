@@ -1,0 +1,400 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/registry"
+)
+
+// Info reports what a recovery found and did.
+type Info struct {
+	// Fresh is true when Open found no log and started a new one.
+	Fresh bool
+	// SnapshotEpoch is the epoch of the snapshot recovery started from
+	// (0 when it replayed the whole log from an empty registry).
+	SnapshotEpoch uint64
+	// Segments is the number of segment files the replay read.
+	Segments int
+	// Records and Bytes count the log records replayed from the tail.
+	Records int
+	Bytes   int64
+	// Seals is the number of seal records among them.
+	Seals int
+	// TornTail is true when the final record was torn (a crash
+	// mid-write); Open truncates it away before appending resumes.
+	TornTail bool
+	// Epoch is the last sealed epoch after recovery.
+	Epoch uint64
+}
+
+// segFile / snapFile are directory-scan results, sorted ascending.
+type segFile struct {
+	seq  uint64
+	path string
+}
+
+type snapFile struct {
+	epoch uint64
+	path  string
+}
+
+// scanDir lists the segments and snapshots in dir. Unknown files
+// (including .tmp leftovers from a crashed snapshot write) are
+// ignored.
+func scanDir(dir string) ([]segFile, []snapFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segFile
+	var snaps []snapFile
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			seq, err := strconv.ParseUint(name[4:len(name)-4], 10, 64)
+			if err == nil && seq > 0 {
+				segs = append(segs, segFile{seq: seq, path: filepath.Join(dir, name)})
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			epoch, err := strconv.ParseUint(name[5:len(name)-5], 10, 64)
+			if err == nil && epoch > 0 {
+				snaps = append(snaps, snapFile{epoch: epoch, path: filepath.Join(dir, name)})
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].epoch < snaps[j].epoch })
+	return segs, snaps, nil
+}
+
+// Recover rebuilds a registry from the log in dir without opening it
+// for writing — a read-only replay. cfg supplies the shard count and
+// metrics for the rebuilt registry; its Rate is used only when the log
+// has no snapshot and no rate or seal record, and its Journal is
+// ignored. The rebuilt registry's sealed epochs are bit-for-bit
+// identical to the pre-crash ones.
+func Recover(dir string, cfg registry.Config) (*registry.Registry, *Info, error) {
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segs) == 0 && len(snaps) == 0 {
+		return nil, nil, fmt.Errorf("wal: %s holds no log", dir)
+	}
+	r, info, _, _, _, _, err := replayLog(cfg, segs, snaps)
+	return r, info, err
+}
+
+// Open recovers the log in dir (or starts a fresh one if the directory
+// is empty) and returns the rebuilt registry with a Writer already
+// attached as its journal, ready to serve. A torn final record is
+// truncated away so appending resumes at the last whole-record
+// boundary.
+func Open(dir string, opts Options, cfg registry.Config) (*registry.Registry, *Writer, *Info, error) {
+	w, err := newWriter(dir, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fail := func(err error) (*registry.Registry, *Writer, *Info, error) {
+		w.dirf.Close()
+		return nil, nil, nil, err
+	}
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return fail(err)
+	}
+	if len(segs) == 0 && len(snaps) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return fail(err)
+		}
+		w.start()
+		c := cfg
+		c.Journal = w
+		r, err := registry.New(c)
+		if err != nil {
+			w.Close()
+			return nil, nil, nil, err
+		}
+		return r, w, &Info{Fresh: true, Epoch: 1}, nil
+	}
+
+	r, info, tailSeg, tailOff, last, prev, err := replayLog(cfg, segs, snaps)
+	if err != nil {
+		return fail(err)
+	}
+	if tailOff < segHeaderLen {
+		// The crash tore the tail segment inside its own header;
+		// recreate it empty.
+		if err := os.Remove(filepath.Join(dir, segName(tailSeg))); err != nil {
+			return fail(fmt.Errorf("wal: %w", err))
+		}
+		if err := w.createSegment(tailSeg); err != nil {
+			return fail(err)
+		}
+	} else if err := w.continueSegment(tailSeg, tailOff); err != nil {
+		return fail(err)
+	}
+	w.lastSnap, w.prevSnap = last, prev
+	w.start()
+	r.AttachJournal(w)
+	w.met.Recovered(info.Records, info.Bytes)
+	return r, w, info, nil
+}
+
+// replayLog picks the newest usable snapshot (falling back to older
+// ones, and to an empty registry when the whole log is still present)
+// and replays the tail. It returns the rebuilt registry, the replay
+// report, the position appending should resume at, and the snapshot
+// refs the writer's compactor should retain.
+func replayLog(cfg registry.Config, segs []segFile, snaps []snapFile) (*registry.Registry, *Info, uint64, int64, snapRef, snapRef, error) {
+	var none snapRef
+	if len(segs) == 0 {
+		return nil, nil, 0, 0, none, none, fmt.Errorf("wal: snapshots present but no segment files")
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].seq != segs[0].seq+uint64(i) {
+			return nil, nil, 0, 0, none, none, fmt.Errorf("wal: segment gap: %d follows %d", segs[i].seq, segs[i-1].seq)
+		}
+	}
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		sd, err := readSnapshot(snaps[i].path)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		r, info, seg, off, err := tryReplay(cfg, segs, sd)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		last := snapRef{epoch: sd.epoch, seg: sd.seg}
+		var prev snapRef
+		if i > 0 {
+			if psd, err := readSnapshot(snaps[i-1].path); err == nil {
+				prev = snapRef{epoch: psd.epoch, seg: psd.seg}
+			}
+		}
+		return r, info, seg, off, last, prev, nil
+	}
+	if segs[0].seq == 1 {
+		r, info, seg, off, err := tryReplay(cfg, segs, nil)
+		if err != nil {
+			keep(err)
+		} else {
+			return r, info, seg, off, none, none, nil
+		}
+	} else {
+		keep(fmt.Errorf("wal: no usable snapshot and the log prefix is compacted (first segment %d)", segs[0].seq))
+	}
+	return nil, nil, 0, 0, none, none, firstErr
+}
+
+// tryReplay rebuilds one registry: restore the snapshot (when given),
+// reseal it, verify the canonical S bit-for-bit against the stored
+// value, then replay every record from the snapshot's position to the
+// end of the log. A torn final record stops the replay cleanly; any
+// other inconsistency is an error.
+func tryReplay(cfg registry.Config, segs []segFile, sd *snapData) (*registry.Registry, *Info, uint64, int64, error) {
+	c := cfg
+	c.Journal = nil
+	if sd != nil {
+		c.Rate = sd.rate
+	}
+	r, err := registry.New(c)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	info := &Info{Epoch: 1}
+	startSeg, startOff := segs[0].seq, int64(segHeaderLen)
+	if sd != nil {
+		if sd.next < 0 || sd.next > maxReplayID {
+			return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d: implausible id counter %d", sd.epoch, sd.next)
+		}
+		for i, id := range sd.ids {
+			if id < 0 || id > maxReplayID {
+				return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d: implausible agent id %d", sd.epoch, id)
+			}
+			if err := r.RestoreAgent(id, sd.ts[i]); err != nil {
+				return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d: %w", sd.epoch, err)
+			}
+		}
+		r.RestoreNext(sd.next)
+		r.RestoreEpoch(sd.epoch - 1)
+		snap, err := r.SealCorrected(correction(sd.drops, sd.wts))
+		if err != nil {
+			return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d: %w", sd.epoch, err)
+		}
+		if math.Float64bits(snap.Sum()) != math.Float64bits(sd.s) {
+			return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d self-check failed: resealed S %x, stored %x",
+				sd.epoch, math.Float64bits(snap.Sum()), math.Float64bits(sd.s))
+		}
+		info.SnapshotEpoch, info.Epoch = sd.epoch, sd.epoch
+		startSeg, startOff = sd.seg, sd.off
+	}
+
+	if startSeg < segs[0].seq || startSeg > segs[len(segs)-1].seq {
+		return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d replay position in missing segment %d", sd.epoch, startSeg)
+	}
+	idx := int(startSeg - segs[0].seq)
+	apply := func(rec record) error {
+		switch rec.kind {
+		case kindAdd:
+			if rec.id < 0 || rec.id > maxReplayID {
+				return fmt.Errorf("implausible agent id %d", rec.id)
+			}
+			return r.RestoreAgent(rec.id, rec.t)
+		case kindUpdate:
+			return r.Update(rec.id, rec.t)
+		case kindRemove:
+			return r.Remove(rec.id)
+		case kindRate:
+			return r.SetRate(rec.t)
+		case kindSeal, kindSealC:
+			if rec.epoch == 0 {
+				return fmt.Errorf("seal record with epoch 0")
+			}
+			r.RestoreEpoch(rec.epoch - 1)
+			if err := r.SetRate(rec.rate); err != nil {
+				return err
+			}
+			if rec.kind == kindSeal {
+				r.Seal()
+			} else if _, err := r.SealCorrected(correction(rec.drops, rec.weights)); err != nil {
+				return err
+			}
+			info.Seals++
+			info.Epoch = rec.epoch
+		}
+		return nil
+	}
+
+	tailSeg, tailOff := startSeg, startOff
+	for i := idx; i < len(segs); i++ {
+		sf := segs[i]
+		last := i == len(segs)-1
+		data, err := os.ReadFile(sf.path)
+		if err != nil {
+			return nil, nil, 0, 0, fmt.Errorf("wal: %w", err)
+		}
+		if len(data) < segHeaderLen {
+			// Only a crash during segment creation leaves a short
+			// header, and that can only be the final file.
+			if !last {
+				return nil, nil, 0, 0, fmt.Errorf("wal: %s: truncated header in non-final segment", sf.path)
+			}
+			if sd != nil && i == idx {
+				// The snapshot's replay position is unreachable; let
+				// the caller fall back to an older recovery point.
+				return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d replay position %d past end of %s (%d bytes)",
+					sd.epoch, startOff, sf.path, len(data))
+			}
+			info.TornTail = true
+			tailSeg, tailOff = sf.seq, int64(len(data))
+			break
+		}
+		if string(data[:8]) != segMagic {
+			return nil, nil, 0, 0, fmt.Errorf("wal: %s: bad segment magic", sf.path)
+		}
+		if got := binary.LittleEndian.Uint64(data[8:]); got != sf.seq {
+			return nil, nil, 0, 0, fmt.Errorf("wal: %s: header sequence %d does not match name", sf.path, got)
+		}
+		off := int64(segHeaderLen)
+		if i == idx {
+			off = startOff
+			if off > int64(len(data)) {
+				return nil, nil, 0, 0, fmt.Errorf("wal: snapshot %d replay position %d past end of %s (%d bytes)",
+					sd.epoch, off, sf.path, len(data))
+			}
+		}
+		off, torn, err := replayRecords(data, off, apply, info)
+		if err != nil {
+			// A CRC-valid record that fails to apply is corruption, not
+			// a torn write: a crash cannot forge a checksum.
+			return nil, nil, 0, 0, fmt.Errorf("wal: %s: %w", sf.path, err)
+		}
+		tailSeg, tailOff = sf.seq, off
+		if torn {
+			if !last {
+				return nil, nil, 0, 0, fmt.Errorf("wal: %s: torn record in non-final segment", sf.path)
+			}
+			info.TornTail = true
+		}
+		info.Segments++
+	}
+	return r, info, tailSeg, tailOff, nil
+}
+
+// replayRecords walks whole records from off, applying each, and
+// returns the offset of the first byte it could not use. A structurally
+// incomplete or checksum-failing record reports torn=true (the caller
+// decides whether that is a legal torn tail or corruption); an apply
+// failure is always an error.
+func replayRecords(data []byte, off int64, apply func(record) error, info *Info) (int64, bool, error) {
+	for {
+		rem := data[off:]
+		if len(rem) == 0 {
+			return off, false, nil
+		}
+		if len(rem) < frameLen {
+			return off, true, nil
+		}
+		plen := int(binary.LittleEndian.Uint32(rem))
+		if plen == 0 || plen > maxRecordLen {
+			return off, true, nil
+		}
+		if len(rem) < frameLen+plen {
+			return off, true, nil
+		}
+		payload := rem[frameLen : frameLen+plen]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rem[4:]) {
+			return off, true, nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return off, true, nil
+		}
+		if err := apply(rec); err != nil {
+			return off, false, fmt.Errorf("record at offset %d: %w", off, err)
+		}
+		off += int64(frameLen + plen)
+		info.Records++
+		info.Bytes += int64(frameLen + plen)
+	}
+}
+
+// correction rebuilds a registry.Correction from decoded drop and
+// weight lists (nil when both are empty, making the seal a plain one).
+func correction(drops []int, wts []weightEntry) *registry.Correction {
+	if len(drops) == 0 && len(wts) == 0 {
+		return nil
+	}
+	c := &registry.Correction{}
+	if len(drops) > 0 {
+		c.Drop = make(map[int]bool, len(drops))
+		for _, id := range drops {
+			c.Drop[id] = true
+		}
+	}
+	if len(wts) > 0 {
+		c.Weights = make(map[int]float64, len(wts))
+		for _, e := range wts {
+			c.Weights[e.id] = e.w
+		}
+	}
+	return c
+}

@@ -1,0 +1,165 @@
+// Package wal makes the concurrent bid registry crash-recoverable: an
+// append-only binary write-ahead log that internal/registry writes
+// through (via the registry.Journal hook), periodic snapshot
+// compaction, and recovery that rebuilds a registry whose sealed
+// epochs are bit-for-bit identical to the pre-crash ones.
+//
+// The log is a sequence of segment files (wal-<seq>.log). Every record
+// is length-prefixed and CRC32C-framed:
+//
+//	[u32 payload length][u32 CRC32C(payload)][payload]
+//
+// with little-endian integers throughout. The payload starts with a
+// one-byte kind: add/rebid/leave mutations, rate changes, and seal
+// records (plain, or corrected with the health adjustment inlined).
+// Appends group-commit: records accumulate in a memory buffer that is
+// written to the segment in batches, and fsync runs under a
+// configurable policy (every batch, every seal, on an interval, or
+// never). The append path allocates nothing in steady state.
+//
+// Why replaying the log reproduces sealed epochs exactly: a sealed
+// epoch is a pure function of the live (id, bid) set, the rate and the
+// correction — the canonical ascending-id Neumaier reduction shared
+// with alloc.Stream (see internal/registry). The journal hook logs
+// every mutation under its shard lock and every seal under ALL shard
+// locks, so the seal record is a barrier: mutations logged before it
+// are exactly those the epoch observed. Replay therefore rebuilds the
+// same live set at every seal record, and resealing (with the logged
+// rate and correction) reproduces the identical snapshot — for any
+// shard count and any worker count, on both sides of the crash.
+//
+// Snapshot sidecar files (snap-<epoch>.snap) serialize the sealed
+// epoch's source state — the uncorrected live population, the id
+// counter, the rate, the correction, and the canonical S of the
+// covered epoch for a recovery self-check — plus the log position just
+// after the covering seal record. Compaction keeps the two newest
+// snapshots and deletes every segment older than the one the previous
+// snapshot points into, so recovery always has a valid snapshot-plus-
+// tail even if the newest snapshot is damaged. Recovery loads the
+// newest valid snapshot, reseals, verifies S bit-for-bit, replays the
+// log tail, and truncates a torn final record (a kill -9 mid-write)
+// at the last whole-record boundary.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Record kinds. The on-disk values are frozen: recovery of logs
+// written by older builds depends on them.
+const (
+	kindAdd    = byte(1) // u64 id, f64 t
+	kindUpdate = byte(2) // u64 id, f64 t
+	kindRemove = byte(3) // u64 id
+	kindRate   = byte(4) // f64 rate
+	kindSeal   = byte(5) // u64 epoch, f64 rate
+	kindSealC  = byte(6) // u64 epoch, f64 rate, u32 nDrop, u32 nWeight, nDrop×u64, nWeight×(u64, f64)
+)
+
+const (
+	// segMagic opens every segment file, followed by the u64 segment
+	// sequence number (the header is segHeaderLen bytes in all).
+	segMagic     = "LBWAL001"
+	segHeaderLen = 16
+	// snapMagic opens every snapshot sidecar file.
+	snapMagic = "LBSNAP01"
+	// frameLen is the per-record framing overhead: u32 length + u32 CRC.
+	frameLen = 8
+	// maxRecordLen bounds a decoded payload length: anything larger is
+	// treated as log corruption rather than allocated.
+	maxRecordLen = 1 << 26
+	// maxReplayID bounds agent ids accepted during replay: registries
+	// size internal tables by the highest id, so an implausibly large
+	// id in a damaged log is corruption, not an allocation request.
+	maxReplayID = 1 << 40
+)
+
+// crcTable is the Castagnoli polynomial (CRC32C), hardware-accelerated
+// on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// weightEntry is one (id, weight) pair of a corrected seal record.
+type weightEntry struct {
+	id int
+	w  float64
+}
+
+// record is one decoded log record.
+type record struct {
+	kind    byte
+	id      int     // add/update/remove
+	t       float64 // add/update bid; rate for kindRate
+	epoch   uint64  // seal records
+	rate    float64 // seal records
+	drops   []int
+	weights []weightEntry
+}
+
+// decodeRecord parses a CRC-verified payload. It returns an error for
+// a malformed payload (truncated fields, unknown kind, inconsistent
+// correction counts) — the reader treats that as corruption.
+func decodeRecord(p []byte) (record, error) {
+	if len(p) == 0 {
+		return record{}, fmt.Errorf("wal: empty record payload")
+	}
+	rec := record{kind: p[0]}
+	body := p[1:]
+	switch rec.kind {
+	case kindAdd, kindUpdate:
+		if len(body) != 16 {
+			return record{}, fmt.Errorf("wal: mutation record has %d payload bytes, want 16", len(body))
+		}
+		rec.id = int(binary.LittleEndian.Uint64(body))
+		rec.t = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
+	case kindRemove:
+		if len(body) != 8 {
+			return record{}, fmt.Errorf("wal: remove record has %d payload bytes, want 8", len(body))
+		}
+		rec.id = int(binary.LittleEndian.Uint64(body))
+	case kindRate:
+		if len(body) != 8 {
+			return record{}, fmt.Errorf("wal: rate record has %d payload bytes, want 8", len(body))
+		}
+		rec.t = math.Float64frombits(binary.LittleEndian.Uint64(body))
+	case kindSeal:
+		if len(body) != 16 {
+			return record{}, fmt.Errorf("wal: seal record has %d payload bytes, want 16", len(body))
+		}
+		rec.epoch = binary.LittleEndian.Uint64(body)
+		rec.rate = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
+	case kindSealC:
+		if len(body) < 24 {
+			return record{}, fmt.Errorf("wal: corrected seal record has %d payload bytes, want >= 24", len(body))
+		}
+		rec.epoch = binary.LittleEndian.Uint64(body)
+		rec.rate = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
+		nDrop := int(binary.LittleEndian.Uint32(body[16:]))
+		nWeight := int(binary.LittleEndian.Uint32(body[20:]))
+		want := 24 + 8*nDrop + 16*nWeight
+		if len(body) != want {
+			return record{}, fmt.Errorf("wal: corrected seal record has %d payload bytes, want %d", len(body), want)
+		}
+		off := 24
+		rec.drops = make([]int, nDrop)
+		for i := range rec.drops {
+			rec.drops[i] = int(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		rec.weights = make([]weightEntry, nWeight)
+		for i := range rec.weights {
+			rec.weights[i].id = int(binary.LittleEndian.Uint64(body[off:]))
+			rec.weights[i].w = math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:]))
+			off += 16
+		}
+	default:
+		return record{}, fmt.Errorf("wal: unknown record kind %d", rec.kind)
+	}
+	return rec, nil
+}
+
+// segName and snapName are the on-disk file names.
+func segName(seq uint64) string    { return fmt.Sprintf("wal-%08d.log", seq) }
+func snapName(epoch uint64) string { return fmt.Sprintf("snap-%020d.snap", epoch) }

@@ -17,7 +17,7 @@ import (
 // each drain one part with no shared state and the whole ensemble is
 // reproducible from the parent seed.
 func SplitPoisson(rate float64, n, parts int, dist SizeDist, rng *numeric.Rand) []*Poisson {
-	if rate <= 0 || math.IsNaN(rate) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		panic(fmt.Sprintf("workload: invalid rate %v", rate))
 	}
 	if parts <= 0 {

@@ -100,9 +100,11 @@ func TestSplitPoissonDeterministic(t *testing.T) {
 
 func TestSplitPoissonPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"rate":  func() { SplitPoisson(0, 10, 2, nil, nil) },
-		"parts": func() { SplitPoisson(1, 10, 0, nil, nil) },
-		"n":     func() { SplitPoisson(1, 1, 2, nil, nil) },
+		"rate":     func() { SplitPoisson(0, 10, 2, nil, nil) },
+		"rate-nan": func() { SplitPoisson(math.NaN(), 10, 2, nil, nil) },
+		"rate-inf": func() { SplitPoisson(math.Inf(1), 10, 2, nil, nil) },
+		"parts":    func() { SplitPoisson(1, 10, 0, nil, nil) },
+		"n":        func() { SplitPoisson(1, 1, 2, nil, nil) },
 	} {
 		func() {
 			defer func() {

@@ -107,7 +107,8 @@ type Poisson struct {
 
 // NewPoisson returns a Poisson source emitting n jobs at the given
 // arrival rate (jobs per second) with sizes from dist (ConstSize if
-// nil). It panics on non-positive rate or n.
+// nil). It panics on a non-positive or non-finite rate or a
+// non-positive n.
 func NewPoisson(rate float64, n int, dist SizeDist, rng *numeric.Rand) *Poisson {
 	p := &Poisson{}
 	p.Reset(rate, n, dist, rng)
@@ -118,7 +119,7 @@ func NewPoisson(rate float64, n int, dist SizeDist, rng *numeric.Rand) *Poisson 
 // letting a long-lived engine reuse one source across rounds instead
 // of allocating a fresh one per round. The same validation applies.
 func (p *Poisson) Reset(rate float64, n int, dist SizeDist, rng *numeric.Rand) {
-	if rate <= 0 || math.IsNaN(rate) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		panic(fmt.Sprintf("workload: invalid rate %v", rate))
 	}
 	if n <= 0 {
@@ -153,7 +154,7 @@ type Deterministic struct {
 
 // NewDeterministic returns a deterministic arrival source.
 func NewDeterministic(rate float64, n int) *Deterministic {
-	if rate <= 0 || math.IsNaN(rate) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		panic(fmt.Sprintf("workload: invalid rate %v", rate))
 	}
 	if n <= 0 {

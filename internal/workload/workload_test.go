@@ -182,8 +182,12 @@ func TestConstructorPanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { NewPoisson(0, 1, nil, nil) },
 		func() { NewPoisson(1, 0, nil, nil) },
+		func() { NewPoisson(math.Inf(1), 1, nil, nil) },
+		func() { NewPoisson(math.NaN(), 1, nil, nil) },
+		func() { new(Poisson).Reset(math.Inf(1), 1, nil, nil) },
 		func() { NewDeterministic(-1, 1) },
 		func() { NewDeterministic(1, 0) },
+		func() { NewDeterministic(math.Inf(1), 1) },
 	} {
 		func() {
 			defer func() {
