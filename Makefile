@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check fuzz difftest chaos wal bench bench-rounds bench-registry bench-dispatch bench-wal
+.PHONY: build test vet lint race check fuzz difftest chaos wal bench bench-rounds bench-registry bench-dispatch bench-wal bench-swarm
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,10 @@ difftest:
 	$(GO) test -run 'TestCompensationBonusAllocsO1|TestEngineSteadyStateZeroAllocs' -count=1 ./internal/mech
 	$(GO) test -race -run 'TestAliasDifferentialFrequencies|TestAccountingWorkerInvariance|TestAliasRebuildRaceClean' -count=1 ./internal/dispatch
 	$(GO) test -run 'TestPickAllocFree' -count=1 ./internal/dispatch
+	$(GO) test -race -run 'TestSwarmDifferentialVsReference|TestSwarmWorkerInvarianceBitwise' -count=1 ./internal/swarm
+	$(GO) test -race -run 'TestForEachBlockSubstreamWorkerInvariance' -count=1 ./internal/parallel
+	$(GO) test -run 'TestSwarmRoundAllocFree|TestSwarmChurnSteadyStateAllocFree' -count=1 ./internal/swarm
+	$(GO) test -run 'TestSplitIntoAllocFree' -count=1 ./internal/numeric
 
 # Durable-registry gate: the WAL differential suite under -race
 # (recovery vs a live alloc.Stream across 32 seeds and shard counts,
@@ -112,3 +116,18 @@ bench-wal:
 	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_wal.json
 	@rm -f .bench_raw.txt
 	@cat BENCH_wal.json
+
+# Record the selfish-rebalancing baseline as stable JSON: steady-state
+# round throughput at 10^6 and the 10^7-agent headline (which must
+# hold 0 allocs/op at workers=1), the online-churn variant, and the
+# convergence-vs-optimum table (rounds from the adversarial all-on-one
+# start to within ε of the mechanism's x*, with tasks_moved_per_s and
+# the cs/0506098 bound as custom metrics). benchjson -check then
+# validates the committed file parses and records the machine spec.
+bench-swarm:
+	$(GO) test -run '^$$' -bench 'BenchmarkSwarmRound' -benchmem -benchtime 5x -timeout 30m ./internal/swarm > .bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSwarmConverge' -benchmem -benchtime 1x -timeout 30m ./internal/swarm >> .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_swarm.json
+	@rm -f .bench_raw.txt
+	$(GO) run ./cmd/benchjson -check BENCH_swarm.json
+	@cat BENCH_swarm.json

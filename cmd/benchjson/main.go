@@ -8,6 +8,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -27,6 +28,9 @@ type Result struct {
 	// with -benchmem (-1 when absent).
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values by unit (e.g. the
+	// swarm's tasks_moved_per_s and rounds_to_eps columns).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the emitted JSON structure.
@@ -67,7 +71,15 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
 		default:
-			err = nil // ignore custom metrics
+			// Custom b.ReportMetric pairs: record them under their
+			// unit. Non-numeric values mark a non-benchmark line.
+			var f float64
+			if f, err = strconv.ParseFloat(val, 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = f
+			}
 		}
 		if err != nil {
 			return Result{}, false
@@ -106,7 +118,49 @@ func run(in *bufio.Scanner, out *os.File) error {
 	return enc.Encode(doc)
 }
 
+// check validates a committed BENCH_*.json: it must parse as a
+// Document, carry at least one benchmark, and record the machine spec
+// (goos and goarch; a cpu line when the platform reports one is
+// carried through but not required). CI runs this against
+// BENCH_swarm.json so a hand-edited or truncated baseline fails fast.
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: %s: no benchmarks recorded", path)
+	}
+	if doc.Goos == "" || doc.Goarch == "" {
+		return fmt.Errorf("benchjson: %s: missing machine spec (goos=%q goarch=%q)", path, doc.Goos, doc.Goarch)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name == "" || b.Iterations <= 0 {
+			return fmt.Errorf("benchjson: %s: malformed benchmark entry %+v", path, b)
+		}
+	}
+	fmt.Printf("benchjson: %s ok (%d benchmarks, %s/%s", path, len(doc.Benchmarks), doc.Goos, doc.Goarch)
+	if doc.CPU != "" {
+		fmt.Printf(", %s", doc.CPU)
+	}
+	fmt.Println(")")
+	return nil
+}
+
 func main() {
+	checkPath := flag.String("check", "", "validate an existing BENCH_*.json instead of converting stdin")
+	flag.Parse()
+	if *checkPath != "" {
+		if err := check(*checkPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	if err := run(sc, os.Stdout); err != nil {

@@ -185,3 +185,34 @@ func TestShuffleKeepsMultiset(t *testing.T) {
 		t.Errorf("shuffle changed multiset: sum %d != %d", got, sum)
 	}
 }
+
+// TestSplitIntoAllocFree pins the reuse contract the swarm's round
+// loop depends on: deriving a child substream into preallocated
+// storage allocates nothing, so deriving thousands of per-block
+// substreams every round is free of garbage. Reset gets the same
+// guard since SplitInto is Reset plus one parent draw.
+func TestSplitIntoAllocFree(t *testing.T) {
+	parent := NewRand(1)
+	children := make([]Rand, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		for i := range children {
+			parent.SplitInto(&children[i])
+		}
+	}); n != 0 {
+		t.Errorf("SplitInto allocated %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { parent.Reset(42) }); n != 0 {
+		t.Errorf("Reset allocated %v times per run, want 0", n)
+	}
+	// The derivation must still match the allocating Split
+	// stream-for-stream.
+	a, b := NewRand(9), NewRand(9)
+	var child Rand
+	a.SplitInto(&child)
+	split := b.Split()
+	for i := 0; i < 100; i++ {
+		if x, y := child.Uint64(), split.Uint64(); x != y {
+			t.Fatalf("draw %d: SplitInto %#x != Split %#x", i, x, y)
+		}
+	}
+}

@@ -636,6 +636,82 @@ func (m *WALMetrics) Recovered(records int, bytes int64) {
 	m.ReplayedBytes.Add(bytes)
 }
 
+// SwarmMetrics instruments the selfish-rebalancing swarm: per-round
+// task, migration and churn totals plus the two convergence gauges
+// (relative imbalance and total-variation distance to the mechanism
+// optimum x*). Every record method is a plain atomic store or add, so
+// the swarm's allocation-free steady-state round holds with metrics
+// on or off; the per-task migration hot path is entirely metric-free
+// (one RoundDone call per round, not per task).
+type SwarmMetrics struct {
+	// Rounds counts completed migration rounds; Migrations the tasks
+	// that moved; Joined and Left the online churn applied.
+	Rounds, Migrations, Joined, Left *Counter
+	// Balanced counts RunUntil convergences to the ε target.
+	Balanced *Counter
+	// Tasks gauges the live task count after the last round.
+	Tasks *Gauge
+	// Imbalance gauges max_i |ℓ_i − ℓ*|/ℓ* after the last round;
+	// TVOptimum gauges the total-variation distance between the
+	// empirical task shares and the mechanism optimum's shares.
+	Imbalance, TVOptimum *Gauge
+	// RoundSeconds observes wall-clock round latencies when a driver
+	// times them (the engine itself never reads the clock).
+	RoundSeconds *Histogram
+}
+
+// NewSwarmMetrics registers the swarm bundle on r.
+func NewSwarmMetrics(r *Registry) *SwarmMetrics {
+	if r == nil {
+		return nil
+	}
+	return &SwarmMetrics{
+		Rounds:       r.Counter("lb_swarm_rounds_total", "selfish migration rounds completed"),
+		Migrations:   r.Counter("lb_swarm_migrations_total", "tasks that migrated between machines"),
+		Joined:       r.Counter("lb_swarm_tasks_joined_total", "tasks joined by online churn"),
+		Left:         r.Counter("lb_swarm_tasks_left_total", "tasks removed by online churn"),
+		Balanced:     r.Counter("lb_swarm_balanced_total", "runs converged to the ε-balance target"),
+		Tasks:        r.Gauge("lb_swarm_tasks", "live tasks after the last round"),
+		Imbalance:    r.Gauge("lb_swarm_imbalance", "relative load imbalance after the last round"),
+		TVOptimum:    r.Gauge("lb_swarm_tv_to_optimum", "total-variation distance to the mechanism optimum"),
+		RoundSeconds: r.Histogram("lb_swarm_round_seconds", "wall-clock migration round latency", nil),
+	}
+}
+
+// RoundDone records one completed round's totals.
+func (m *SwarmMetrics) RoundDone(tasks, migrations, joined, left int64, imbalance, tv float64) {
+	if m == nil {
+		return
+	}
+	m.Rounds.Inc()
+	m.Migrations.Add(migrations)
+	if joined > 0 {
+		m.Joined.Add(joined)
+	}
+	if left > 0 {
+		m.Left.Add(left)
+	}
+	m.Tasks.Set(float64(tasks))
+	m.Imbalance.Set(imbalance)
+	m.TVOptimum.Set(tv)
+}
+
+// BalancedRun records one convergence to the ε-balance target.
+func (m *SwarmMetrics) BalancedRun() {
+	if m == nil {
+		return
+	}
+	m.Balanced.Inc()
+}
+
+// RoundTimed records one wall-clock round latency.
+func (m *SwarmMetrics) RoundTimed(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.RoundSeconds.Observe(seconds)
+}
+
 // Observer bundles a registry, a trace ring and every layer bundle,
 // so a CLI can enable full observability with one value and each
 // layer can pull its slice. A nil *Observer disables everything.
@@ -644,8 +720,8 @@ type Observer struct {
 	Registry *Registry
 	// Trace is the shared event ring.
 	Trace *Trace
-	// Round, Supervise, Engine, Faults, BidRegistry, Health, Dispatch
-	// and WAL are the layer bundles.
+	// Round, Supervise, Engine, Faults, BidRegistry, Health, Dispatch,
+	// WAL and Swarm are the layer bundles.
 	Round       *RoundMetrics
 	Supervise   *SuperviseMetrics
 	Engine      *EngineMetrics
@@ -654,6 +730,7 @@ type Observer struct {
 	Health      *HealthMetrics
 	Dispatch    *DispatchMetrics
 	WAL         *WALMetrics
+	Swarm       *SwarmMetrics
 }
 
 // New returns an Observer with every bundle registered and a trace
@@ -673,6 +750,7 @@ func New(traceCap int) *Observer {
 		Health:      NewHealthMetrics(r),
 		Dispatch:    NewDispatchMetrics(r),
 		WAL:         NewWALMetrics(r),
+		Swarm:       NewSwarmMetrics(r),
 	}
 }
 
@@ -743,6 +821,15 @@ func (o *Observer) WALMetrics() *WALMetrics {
 		return nil
 	}
 	return o.WAL
+}
+
+// SwarmMetrics returns the selfish-rebalancing bundle (nil on a nil
+// observer).
+func (o *Observer) SwarmMetrics() *SwarmMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Swarm
 }
 
 // Emit forwards an event to the trace ring (no-op on a nil observer).

@@ -1,0 +1,28 @@
+package parallel
+
+// CacheLine is the assumed cache-line size in bytes. 64 is correct
+// for every amd64 and most arm64 parts; on machines with 128-byte
+// lines the padding below halves the protection but never breaks
+// correctness.
+const CacheLine = 64
+
+// PadInt64 is an int64 padded out to a full cache line. Per-worker
+// accumulators that live in one contiguous slice — migration
+// counters, per-worker tallies, histogram cells — must not share a
+// line: a plain []int64 puts eight workers' hot counters on one line
+// and every write invalidates the other seven cores' copies (false
+// sharing), which BenchmarkForEachBlock makes visible as a multi-x
+// slowdown on multicore hosts. A []PadInt64 gives each slot its own
+// line at the cost of 56 wasted bytes per slot.
+//
+// The field is a plain int64, not an atomic: the intended use is
+// owner-per-slot accumulation (each worker writes only its slot, a
+// single thread merges after the fan-out joins). For cross-thread
+// counters use an atomic wrapper such as dispatch's padded in-flight
+// counters.
+type PadInt64 struct {
+	// V is the counter.
+	V int64
+
+	_ [CacheLine - 8]byte
+}

@@ -1,0 +1,136 @@
+package swarm
+
+// Benchmarks behind make bench-swarm / BENCH_swarm.json. Three
+// groups:
+//
+//   - BenchmarkSwarmRound / BenchmarkSwarmRound10M: steady-state round
+//     throughput (every task samples a destination and decides every
+//     round, so task_decisions_per_s is the protocol work rate). The
+//     10M benchmark is the headline scale point and must hold
+//     0 allocs/op at workers=1.
+//   - BenchmarkSwarmRoundChurn: the online variant with join/leave
+//     churn in steady state.
+//   - BenchmarkSwarmConverge: the convergence-vs-optimum table —
+//     rounds (and wall time) from the adversarial all-on-one start to
+//     within ε of the mechanism optimum x*, with tasks_moved_per_s as
+//     the headline migration throughput and the cs/0506098 bound for
+//     scale. Run with -benchtime 1x; each iteration is one full
+//     convergence.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+var benchStats RoundStats
+
+func benchRound(b *testing.B, cfg Config) {
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm to steady state so the measured rounds are the post-
+	// convergence migration regime, not the initial scatter.
+	for r := 0; r < 3; r++ {
+		s.Round()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var moved int64
+	for i := 0; i < b.N; i++ {
+		benchStats = s.Round()
+		moved += benchStats.Migrations
+	}
+	el := b.Elapsed().Seconds()
+	if el > 0 {
+		b.ReportMetric(float64(cfg.Tasks)*float64(b.N)/el, "task_decisions_per_s")
+		b.ReportMetric(float64(moved)/el, "tasks_moved_per_s")
+	}
+}
+
+func BenchmarkSwarmRound(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("m=1e6/n=1024/workers=%d", w), func(b *testing.B) {
+			benchRound(b, Config{Tasks: 1e6, Machines: 1024, Seed: 1, Workers: w})
+		})
+	}
+}
+
+func BenchmarkSwarmRound10M(b *testing.B) {
+	b.Run("m=1e7/n=4096/workers=1", func(b *testing.B) {
+		benchRound(b, Config{Tasks: 1e7, Machines: 4096, Seed: 1, Workers: 1})
+	})
+}
+
+func BenchmarkSwarmRoundChurn(b *testing.B) {
+	b.Run("m=1e6/n=1024/join=2000/leave=2000", func(b *testing.B) {
+		benchRound(b, Config{
+			Tasks: 1e6, Machines: 1024, Seed: 1, Workers: 1,
+			Join: 2000, Leave: 2000, MaxTasks: 1e6 + 100000,
+		})
+	})
+}
+
+// spreadT returns n slopes log-spaced across [1, spread].
+func spreadT(n int, spread float64) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Pow(spread, float64(i)/float64(n-1))
+	}
+	return ts
+}
+
+func BenchmarkSwarmConverge(b *testing.B) {
+	cases := []struct {
+		name   string
+		m, n   int
+		spread float64 // 1 = uniform machines
+		eps    float64
+	}{
+		{"m=1e5/n=16/uniform", 1e5, 16, 1, 0.01},
+		{"m=1e6/n=256/uniform", 1e6, 256, 1, 0.01},
+		{"m=1e6/n=4096/uniform", 1e6, 4096, 1, 0.05},
+		{"m=1e7/n=256/uniform", 1e7, 256, 1, 0.01},
+		{"m=1e7/n=4096/uniform", 1e7, 4096, 1, 0.01},
+		{"m=1e6/n=256/spread=32", 1e6, 256, 32, 0.02},
+		{"m=1e7/n=1024/spread=8", 1e7, 1024, 8, 0.02},
+		{"m=1e7/n=1024/spread=32", 1e7, 1024, 32, 0.02},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%s/eps=%g", c.name, c.eps), func(b *testing.B) {
+			cfg := Config{Tasks: c.m, Machines: c.n, Seed: 1, PlaceSingle: true}
+			if c.spread > 1 {
+				cfg.T = spreadT(c.n, c.spread)
+			}
+			b.ReportAllocs()
+			var rounds int
+			var moved int64
+			var last RoundStats
+			for i := 0; i < b.N; i++ {
+				s, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, moved = 0, 0
+				for {
+					last = s.Round()
+					rounds++
+					moved += last.Migrations
+					if last.Imbalance <= c.eps {
+						break
+					}
+					if rounds >= 1000 {
+						b.Fatalf("no convergence within 1000 rounds (imbalance %g)", last.Imbalance)
+					}
+				}
+			}
+			b.ReportMetric(float64(rounds), "rounds_to_eps")
+			b.ReportMetric(last.TVOptimum, "tv_to_optimum")
+			b.ReportMetric(BoundUniform(c.m, c.n), "cs0506098_bound")
+			if el := b.Elapsed().Seconds(); el > 0 {
+				b.ReportMetric(float64(moved)*float64(b.N)/el, "tasks_moved_per_s")
+			}
+		})
+	}
+}

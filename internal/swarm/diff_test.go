@@ -1,0 +1,116 @@
+package swarm
+
+// Differential tests: the parallel Swarm against the serial Reference
+// oracle. The determinism contract says a trajectory is a pure
+// function of the Config minus Workers — so for every worker count,
+// every seed and with online churn enabled, the per-round machine
+// counts, task assignments and round stats must match the serial
+// reference EXACTLY (integer counts bitwise, float stats bitwise,
+// since both sides compute them from identical integers with
+// identical expressions). Run under -race (make difftest and make
+// check do) this doubles as the swarm's race test: workers share the
+// load snapshot read-only and partition assignment writes by block.
+
+import (
+	"math"
+	"testing"
+)
+
+// diffConfigs are the scenario axes the oracle is replayed over.
+func diffConfigs() map[string]Config {
+	hetero := make([]float64, 48)
+	for i := range hetero {
+		hetero[i] = math.Exp(float64(i%7) - 3)
+	}
+	return map[string]Config{
+		"uniform": {Tasks: 40000, Machines: 64},
+		"single":  {Tasks: 40000, Machines: 64, PlaceSingle: true},
+		"hetero":  {Tasks: 40000, T: hetero},
+		"churn": {
+			Tasks: 30000, Machines: 32, Join: 900, Leave: 400,
+			ChurnFrom: 2, ChurnUntil: 12, MaxTasks: 30000 + 16*900,
+		},
+		"drain": {Tasks: 20000, Machines: 16, Leave: 1500},
+		// A block size that does not divide the task count exercises
+		// the ragged tail block, and growth past MaxTasks exercises
+		// the reallocation path on both sides.
+		"ragged-grow": {Tasks: 10001, Machines: 8, Block: 1000, Join: 1700},
+	}
+}
+
+func TestSwarmDifferentialVsReference(t *testing.T) {
+	const rounds = 18
+	for name, base := range diffConfigs() {
+		for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+			for _, workers := range []int{1, 4, 32} {
+				cfg := base
+				cfg.Seed = seed
+				cfg.Workers = workers
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatalf("%s/seed=%d: %v", name, seed, err)
+				}
+				ref, err := NewReference(cfg)
+				if err != nil {
+					t.Fatalf("%s/seed=%d: reference: %v", name, seed, err)
+				}
+				for r := 1; r <= rounds; r++ {
+					got, want := s.Round(), ref.Round()
+					if got != want {
+						t.Fatalf("%s/seed=%d/workers=%d round %d: stats diverge\n got %+v\nwant %+v",
+							name, seed, workers, r, got, want)
+					}
+					gc, wc := s.Counts(), ref.Counts()
+					for i := range wc {
+						if gc[i] != wc[i] {
+							t.Fatalf("%s/seed=%d/workers=%d round %d: counts[%d] = %d, reference %d",
+								name, seed, workers, r, i, gc[i], wc[i])
+						}
+					}
+				}
+				ga, wa := s.Assignments(), ref.Assignments()
+				if len(ga) != len(wa) {
+					t.Fatalf("%s/seed=%d/workers=%d: %d assignments, reference %d",
+						name, seed, workers, len(ga), len(wa))
+				}
+				for k := range wa {
+					if ga[k] != wa[k] {
+						t.Fatalf("%s/seed=%d/workers=%d: assign[%d] = %d, reference %d",
+							name, seed, workers, k, ga[k], wa[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSwarmWorkerInvarianceBitwise replays one config across worker
+// counts and requires the full count trajectory to be bitwise equal —
+// the property the registry, rounds and dispatch layers establish for
+// their own parallel paths, extended to the swarm.
+func TestSwarmWorkerInvarianceBitwise(t *testing.T) {
+	base := Config{Tasks: 60000, Machines: 96, Seed: 17, Join: 300, Leave: 300, MaxTasks: 70000}
+	trajectory := func(workers int) []int64 {
+		cfg := base
+		cfg.Workers = workers
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int64
+		for r := 0; r < 12; r++ {
+			s.Round()
+			out = append(out, s.Counts()...)
+		}
+		return out
+	}
+	want := trajectory(1)
+	for _, w := range []int{2, 4, 32} {
+		got := trajectory(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: trajectory[%d] = %d, workers=1 has %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package swarm
+
+import "repro/internal/registry"
+
+// ConfigFromSnapshot builds a swarm over a sealed registry epoch's
+// live population: one machine per live agent in ascending id order,
+// with the sealed bid as the machine's latency slope. The swarm's
+// balanced fixed point is then exactly the epoch's PR optimum — task
+// share (1/t_i)/Σ(1/t_j) equals x*_i/R from Snapshot.Load — so
+// running the selfish dynamics over a sealed epoch measures how fast
+// decentralized migration approaches the allocation the mechanism
+// computes in one shot. Tasks discretizes the epoch's continuous rate
+// into migrating agents; Seed, Workers, churn and placement are left
+// for the caller to layer onto the returned Config.
+//
+// Returns errEmpty (as an error) for an epoch with no live agents.
+func ConfigFromSnapshot(snap *registry.Snapshot, tasks int) (Config, error) {
+	n := snap.N()
+	if n == 0 {
+		return Config{}, errEmpty
+	}
+	t := make([]float64, n)
+	for j, id := range snap.IDs() {
+		v, _ := snap.Value(id)
+		t[j] = v
+	}
+	return Config{Tasks: tasks, T: t}, nil
+}
+
+// OptimumShares fills dst (grown as needed) with the sealed epoch's
+// optimal per-machine shares x*_i/R = 1/(t_i·S) in ascending id
+// order — the target the swarm's empirical shares converge to, and
+// the reference vector behind RoundStats.TVOptimum. Uses the
+// snapshot's canonical S, so the shares agree with Snapshot.Load
+// bitwise up to the division by R.
+func OptimumShares(dst []float64, snap *registry.Snapshot) ([]float64, error) {
+	n := snap.N()
+	if n == 0 {
+		return dst[:0], errEmpty
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	s := snap.Sum()
+	for j, id := range snap.IDs() {
+		v, _ := snap.Value(id)
+		dst[j] = 1 / (v * s)
+	}
+	return dst, nil
+}

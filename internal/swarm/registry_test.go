@@ -1,0 +1,100 @@
+package swarm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// sealPopulation builds a registry with the given bids and seals one
+// epoch.
+func sealPopulation(t *testing.T, bids []float64, rate float64) *registry.Snapshot {
+	t.Helper()
+	r, err := registry.New(registry.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetRate(rate); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bids {
+		if _, err := r.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.Seal()
+}
+
+// TestConfigFromSnapshot checks the bridge carries the sealed bids
+// over in id order and that OptimumShares matches Snapshot.Load/R.
+func TestConfigFromSnapshot(t *testing.T) {
+	bids := []float64{2, 0.5, 1, 4, 0.25}
+	snap := sealPopulation(t, bids, 120)
+	cfg, err := ConfigFromSnapshot(snap, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.T) != len(bids) || cfg.Tasks != 50000 {
+		t.Fatalf("bridge produced %d machines / %d tasks", len(cfg.T), cfg.Tasks)
+	}
+	shares, err := OptimumShares(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for j, id := range snap.IDs() {
+		load, _ := snap.Load(id)
+		if want := load / snap.Rate(); math.Abs(shares[j]-want) > 1e-15 {
+			t.Errorf("share[%d] = %g, snapshot load/R = %g", j, shares[j], want)
+		}
+		sum += shares[j]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %g, want 1", sum)
+	}
+
+	// Empty epoch: both bridges must refuse.
+	empty := sealPopulation(t, nil, 0)
+	if _, err := ConfigFromSnapshot(empty, 10); err == nil {
+		t.Error("ConfigFromSnapshot accepted an empty epoch")
+	}
+	if _, err := OptimumShares(nil, empty); err == nil {
+		t.Error("OptimumShares accepted an empty epoch")
+	}
+}
+
+// TestSwarmConvergesToSnapshotOptimum runs the selfish dynamics over
+// a sealed epoch and checks the empirical shares land on the epoch's
+// PR optimum.
+func TestSwarmConvergesToSnapshotOptimum(t *testing.T) {
+	bids := []float64{1, 1.5, 2, 3, 5, 8, 0.75, 0.5}
+	snap := sealPopulation(t, bids, 500)
+	cfg, err := ConfigFromSnapshot(snap, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 21
+	cfg.PlaceSingle = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last RoundStats
+	for r := 0; r < 150; r++ {
+		last = s.Round()
+	}
+	if last.TVOptimum > 0.01 {
+		t.Fatalf("TV to the sealed optimum %g > 0.01 after 150 rounds", last.TVOptimum)
+	}
+	shares := s.Shares(nil)
+	want, err := OptimumShares(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 0.03*want[i]+1e-3 {
+			t.Errorf("machine %d: share %g, sealed optimum %g", i, shares[i], want[i])
+		}
+	}
+}

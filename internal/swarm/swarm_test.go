@@ -1,0 +1,241 @@
+package swarm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sumCounts returns Σ counts — the invariant live-task total.
+func sumCounts(c []int64) int64 {
+	var s int64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}
+
+func TestSwarmConfigErrors(t *testing.T) {
+	cases := []Config{
+		{Tasks: -1, Machines: 4},
+		{Tasks: 10, Machines: 0},
+		{Tasks: 10, T: []float64{1, 0}},
+		{Tasks: 10, T: []float64{1, -2}},
+		{Tasks: 10, T: []float64{1, math.NaN()}},
+		{Tasks: 10, T: []float64{1, math.Inf(1)}},
+		{Tasks: 10, Machines: 4, Join: -1},
+		{Tasks: 10, Machines: 4, Leave: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New(%+v) accepted invalid config", i, cfg)
+		} else if _, ok := err.(*ConfigError); !ok {
+			t.Errorf("case %d: error %v is not a *ConfigError", i, err)
+		}
+		if _, err := NewReference(cfg); err == nil {
+			t.Errorf("case %d: NewReference accepted invalid config", i)
+		}
+	}
+}
+
+func TestSwarmConservation(t *testing.T) {
+	s, err := New(Config{Tasks: 20000, Machines: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 25; r++ {
+		st := s.Round()
+		if got := sumCounts(s.Counts()); got != 20000 {
+			t.Fatalf("round %d: counts sum to %d, want 20000", st.Round, got)
+		}
+		if st.Tasks != 20000 || st.Joined != 0 || st.Left != 0 {
+			t.Fatalf("round %d: unexpected churn in stats: %+v", st.Round, st)
+		}
+		if st.MaxLoad < st.MinLoad || st.Imbalance < 0 || st.TVOptimum < 0 {
+			t.Fatalf("round %d: malformed stats %+v", st.Round, st)
+		}
+		if len(s.Assignments()) != 20000 {
+			t.Fatalf("round %d: %d assignments, want 20000", st.Round, len(s.Assignments()))
+		}
+	}
+}
+
+func TestSwarmChurnWindowAndConservation(t *testing.T) {
+	cfg := Config{
+		Tasks: 10000, Machines: 16, Seed: 11,
+		Join: 700, Leave: 300, ChurnFrom: 3, ChurnUntil: 6,
+		MaxTasks: 10000 + 4*700,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 10000
+	for r := 1; r <= 10; r++ {
+		st := s.Round()
+		if r >= 3 && r <= 6 {
+			if st.Joined != 700 || st.Left != 300 {
+				t.Fatalf("round %d: churn %d/%d, want 700/300", r, st.Joined, st.Left)
+			}
+			live += 400
+		} else if st.Joined != 0 || st.Left != 0 {
+			t.Fatalf("round %d: churn %d/%d outside window", r, st.Joined, st.Left)
+		}
+		if st.Tasks != live {
+			t.Fatalf("round %d: %d live tasks, want %d", r, st.Tasks, live)
+		}
+		if got := sumCounts(s.Counts()); got != int64(live) {
+			t.Fatalf("round %d: counts sum %d, want %d", r, got, live)
+		}
+	}
+}
+
+// TestSwarmConvergesUniform pins the headline behavior on uniform
+// machines: from the adversarial all-on-one start, the dynamics reach
+// 2%-balance well inside the cs/0506098 scale.
+func TestSwarmConvergesUniform(t *testing.T) {
+	s, err := New(Config{Tasks: 100000, Machines: 16, Seed: 1, PlaceSingle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, last, ok := s.RunUntil(0.02, 200)
+	if !ok {
+		t.Fatalf("no convergence within 200 rounds: %+v", last)
+	}
+	if bound := BoundUniform(100000, 16); float64(rounds) > bound {
+		t.Fatalf("converged in %d rounds, beyond the O(log log m + n²) scale %.0f", rounds, bound)
+	}
+	if last.Imbalance > 0.02 {
+		t.Fatalf("final imbalance %g > 0.02", last.Imbalance)
+	}
+}
+
+// TestSwarmConvergesToOptimum runs heterogeneous machines (a 8x slope
+// spread) and checks the empirical shares land on the mechanism
+// optimum x*_i ∝ 1/t_i.
+func TestSwarmConvergesToOptimum(t *testing.T) {
+	n := 8
+	ts := make([]float64, n)
+	var invSum float64
+	for i := range ts {
+		ts[i] = 1 + 7*float64(i)/float64(n-1)
+		invSum += 1 / ts[i]
+	}
+	s, err := New(Config{Tasks: 200000, T: ts, Seed: 3, PlaceSingle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last RoundStats
+	for r := 0; r < 120; r++ {
+		last = s.Round()
+	}
+	if last.TVOptimum > 0.01 {
+		t.Fatalf("TV distance to optimum %g > 0.01 after 120 rounds", last.TVOptimum)
+	}
+	shares := s.Shares(nil)
+	for i, sh := range shares {
+		want := (1 / ts[i]) / invSum
+		if math.Abs(sh-want) > 0.02*want+1e-3 {
+			t.Errorf("machine %d: share %g, optimum %g", i, sh, want)
+		}
+	}
+}
+
+// TestSwarmDrainsEmpty drives the population to zero through leave
+// churn and checks rounds stay well-defined.
+func TestSwarmDrainsEmpty(t *testing.T) {
+	s, err := New(Config{Tasks: 500, Machines: 4, Seed: 5, Leave: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		st := s.Round()
+		if st.Tasks < 0 || sumCounts(s.Counts()) != int64(st.Tasks) {
+			t.Fatalf("round %d: inconsistent live count %+v", r, st)
+		}
+	}
+	if s.Tasks() != 0 {
+		t.Fatalf("swarm not drained: %d live", s.Tasks())
+	}
+	st := s.Round() // empty round must be a no-op with zeroed stats
+	if st.Migrations != 0 || st.Imbalance != 0 || st.TVOptimum != 0 {
+		t.Fatalf("empty round produced %+v", st)
+	}
+}
+
+// TestSwarmRoundAllocFree pins the steady-state allocation contract:
+// at Workers == 1 a round allocates nothing, with metrics disabled or
+// enabled.
+func TestSwarmRoundAllocFree(t *testing.T) {
+	for _, withMetrics := range []bool{false, true} {
+		cfg := Config{Tasks: 100000, Machines: 64, Seed: 9}
+		if withMetrics {
+			cfg.Metrics = obs.NewSwarmMetrics(obs.NewRegistry())
+		}
+		cfg.Workers = 1
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 3; r++ {
+			s.Round() // warm up: substreams and stats paths touched
+		}
+		if n := testing.AllocsPerRun(5, func() { s.Round() }); n != 0 {
+			t.Errorf("metrics=%v: Round allocated %v times per run, want 0", withMetrics, n)
+		}
+	}
+}
+
+// TestSwarmChurnSteadyStateAllocFree extends the guard to the online
+// variant: churn inside the preallocated capacity must not allocate.
+func TestSwarmChurnSteadyStateAllocFree(t *testing.T) {
+	s, err := New(Config{
+		Tasks: 50000, Machines: 32, Seed: 13, Workers: 1,
+		Join: 100, Leave: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		s.Round()
+	}
+	if n := testing.AllocsPerRun(5, func() { s.Round() }); n != 0 {
+		t.Errorf("churn round allocated %v times per run, want 0", n)
+	}
+}
+
+func TestBoundUniform(t *testing.T) {
+	if b16 := BoundUniform(1e6, 16); b16 <= 256 {
+		t.Fatalf("BoundUniform(1e6,16) = %g, want > n²", b16)
+	}
+	if a, b := BoundUniform(1e5, 64), BoundUniform(1e7, 64); b <= a {
+		t.Fatalf("bound not monotone in m: %g vs %g", a, b)
+	}
+}
+
+// TestSwarmMetricsRecorded checks the bundle sees per-round totals.
+func TestSwarmMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := obs.NewSwarmMetrics(reg)
+	s, err := New(Config{Tasks: 10000, Machines: 8, Seed: 2, PlaceSingle: true, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, _, ok := s.RunUntil(0.05, 100)
+	if !ok {
+		t.Fatal("no convergence")
+	}
+	if got := met.Rounds.Value(); got != int64(rounds) {
+		t.Errorf("rounds counter %d, want %d", got, rounds)
+	}
+	if met.Migrations.Value() <= 0 {
+		t.Error("no migrations recorded")
+	}
+	if met.Balanced.Value() != 1 {
+		t.Errorf("balanced counter %d, want 1", met.Balanced.Value())
+	}
+	if met.Tasks.Value() != 10000 {
+		t.Errorf("tasks gauge %g, want 10000", met.Tasks.Value())
+	}
+}
