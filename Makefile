@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check fuzz difftest chaos wal bench bench-rounds bench-registry bench-dispatch bench-wal bench-swarm
+.PHONY: build test vet lint race check fuzz difftest chaos wal bench bench-rounds bench-registry bench-dispatch bench-wal bench-swarm bench-serve
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,9 @@ difftest:
 	$(GO) test -race -run 'TestForEachBlockSubstreamWorkerInvariance' -count=1 ./internal/parallel
 	$(GO) test -run 'TestSwarmRoundAllocFree|TestSwarmChurnSteadyStateAllocFree' -count=1 ./internal/swarm
 	$(GO) test -run 'TestSplitIntoAllocFree' -count=1 ./internal/numeric
+	$(GO) test -race -run 'TestApplyBatchDifferential|TestApplyBatchIntraBatchDependency' -count=1 ./internal/registry
+	$(GO) test -run 'TestApplyBatchAllocFree' -count=1 ./internal/registry
+	$(GO) test -run 'TestBatchDrainAllocFree|TestWireEncodeAllocFree|TestWireDecodeAllocFree' -count=1 ./internal/server ./internal/wire
 
 # Durable-registry gate: the WAL differential suite under -race
 # (recovery vs a live alloc.Stream across 32 seeds and shard counts,
@@ -56,6 +59,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/supervise
 	$(GO) test -run=^$$ -fuzz=FuzzControllerInvariants -fuzztime=30s ./internal/health
 	$(GO) test -run=^$$ -fuzz=FuzzAliasTable -fuzztime=30s ./internal/dispatch
+	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire
 
 # Chaos gate: the supervise fault-plan matrix, the health controller's
 # 32-seed replication suite (ejection budgets, zero false positives,
@@ -131,3 +135,17 @@ bench-swarm:
 	@rm -f .bench_raw.txt
 	$(GO) run ./cmd/benchjson -check BENCH_swarm.json
 	@cat BENCH_swarm.json
+
+# Record the networked-serving baseline as stable JSON: frame
+# encode/decode (must hold 0 allocs/op), the server-side batch-drain
+# hot path, and the loopback pipelined headline at 1 and 2 connections
+# (the ops/s custom metric must hold ≥ 1M pipelined bid ops/s).
+# benchjson -check validates the committed file parses and records the
+# machine spec.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkWireEncode|BenchmarkWireDecode' -benchmem ./internal/wire > .bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -benchtime 2s -timeout 20m ./internal/server >> .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > BENCH_serve.json
+	@rm -f .bench_raw.txt
+	$(GO) run ./cmd/benchjson -check BENCH_serve.json
+	@cat BENCH_serve.json

@@ -30,6 +30,16 @@
 //	lbserve -wal-demo -wal-dir /tmp/lbwal -agents 50000 -ops 500000
 //	lbserve -wal-dir /tmp/lbwal -wal-sync seal -snapshot-every 4
 //
+// With -listen the command becomes the networked serving front end:
+// a framed TCP server (internal/server) accepting pipelined clients
+// (internal/lbclient, cmd/lbload) until SIGINT/SIGTERM, optionally
+// journaling into a WAL so a killed server restarts from its last
+// sealed epoch bit-for-bit:
+//
+//	lbserve -listen 127.0.0.1:9070
+//	lbserve -listen 127.0.0.1:9070 -wal-dir /tmp/lbwal -wal-sync seal
+//	lbserve -listen 127.0.0.1:9070 -seal-interval 100ms -metrics
+//
 // Throughput scales with worker count only up to the host's cores:
 // on a single-core box the sweep stays flat (see README, "Concurrent
 // serving").
@@ -79,6 +89,9 @@ func main() {
 	walSync := flag.String("wal-sync", "batch", "WAL fsync policy: batch, seal, interval or none")
 	snapshotEvery := flag.Int("snapshot-every", 8, "sealed epochs between WAL snapshot compactions (0 = never)")
 	walDemo := flag.Bool("wal-demo", false, "run the crash/restart recovery demo (needs -wal-dir pointing at a new directory)")
+	listen := flag.String("listen", "", "serve the registry over framed TCP on this address instead of the local sweep")
+	sealInterval := flag.Duration("seal-interval", 0, "with -listen, seal an epoch on this cadence in the background (0 = client-driven seals only)")
+	recoveredOut := flag.String("recovered-out", "", "with -listen, write the starting epoch/n/S-bits line to this file (comparable against lbload -seal-out)")
 	flag.Parse()
 
 	if *healthMode {
@@ -106,6 +119,32 @@ func main() {
 			}
 		}
 		os.Exit(code)
+	}
+
+	if *listen != "" {
+		var ob *obs.Observer
+		if *metrics {
+			ob = obs.New(0)
+		}
+		var syncPolicy wal.SyncPolicy
+		if *walDir != "" {
+			var err error
+			if syncPolicy, err = wal.ParseSyncPolicy(*walSync); err != nil {
+				fmt.Fprintln(os.Stderr, "lbserve:", err)
+				os.Exit(1)
+			}
+		}
+		os.Exit(runListen(listenConfig{
+			addr:         *listen,
+			walDir:       *walDir,
+			sync:         syncPolicy,
+			snapEvery:    *snapshotEvery,
+			rate:         *rate,
+			shards:       *shards,
+			sealInterval: *sealInterval,
+			recoveredOut: *recoveredOut,
+			ob:           ob,
+		}, os.Stdout))
 	}
 
 	workers, err := parseWorkers(*workersSpec)

@@ -271,6 +271,9 @@ type RegistryMetrics struct {
 	Coalesced *Counter
 	// Rebuilds counts per-shard partial-sum rebuilds (drift control).
 	Rebuilds *Counter
+	// Batches counts ApplyBatch calls (the grouped-mutation entry
+	// point); the ops inside a batch land in Adds/Updates/Removes.
+	Batches *Counter
 	// Epochs counts sealed epochs.
 	Epochs *Counter
 	// Live gauges the live agent count as of the last seal.
@@ -293,6 +296,7 @@ func NewRegistryMetrics(r *Registry) *RegistryMetrics {
 		Updates:     r.Counter("lb_registry_updates_total", "bid updates applied"),
 		Coalesced:   r.Counter("lb_registry_coalesced_rebids_total", "rebids overwriting a bid no epoch had sealed"),
 		Rebuilds:    r.Counter("lb_registry_partial_rebuilds_total", "per-shard compensated partial-sum rebuilds"),
+		Batches:     r.Counter("lb_registry_batches_total", "grouped mutation batches applied"),
 		Epochs:      r.Counter("lb_registry_epochs_sealed_total", "epochs sealed"),
 		Live:        r.Gauge("lb_registry_live_agents", "live agents as of the last sealed epoch"),
 		SealSeconds: r.Histogram("lb_registry_seal_seconds", "epoch seal wall-clock latency", nil),
@@ -317,6 +321,20 @@ func (m *RegistryMetrics) Mutated(kind string, coalesced bool) {
 	if coalesced {
 		m.Coalesced.Inc()
 	}
+}
+
+// AppliedBatch records one grouped mutation batch: per-kind applied
+// counts and the coalesced-rebid count, in one call per batch instead
+// of one per op.
+func (m *RegistryMetrics) AppliedBatch(adds, updates, removes, coalesced int64) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.Adds.Add(adds)
+	m.Updates.Add(updates)
+	m.Removes.Add(removes)
+	m.Coalesced.Add(coalesced)
 }
 
 // Rebuilt records one per-shard partial-sum rebuild.
@@ -712,6 +730,119 @@ func (m *SwarmMetrics) RoundTimed(seconds float64) {
 	m.RoundSeconds.Observe(seconds)
 }
 
+// ServerMetrics instruments the networked serving front end
+// (internal/server): connection lifecycle, request traffic by op,
+// admission batch sizes, per-wakeup inflight depth and backpressure.
+// The hot admission path reports once per batch, not once per op, and
+// per-op counters are resolved at construction so recording is a plain
+// atomic add.
+type ServerMetrics struct {
+	// Conns gauges currently open connections; ConnsTotal counts every
+	// connection ever accepted.
+	Conns      *Gauge
+	ConnsTotal *Counter
+	// Ops counts served requests by op name (add, rebid, leave, rate,
+	// seal, epoch, load, payment, ping, subscribe) plus pushed
+	// seal-notify messages under "notify".
+	Ops *CounterVec
+	// BatchSize observes admission batch sizes (bid ops per
+	// registry.ApplyBatch call).
+	BatchSize *Histogram
+	// Inflight gauges the most recent wakeup's decoded request count —
+	// the depth the pipelining actually reached.
+	Inflight *Gauge
+	// Overloads counts requests rejected with StatusOverloaded.
+	Overloads *Counter
+	// ProtocolErrors counts connections dropped for malformed frames.
+	ProtocolErrors *Counter
+
+	ops [12]*Counter // indexed by wire op byte; resolved in NewServerMetrics
+}
+
+// serverOpNames maps wire op bytes (1..11) to their label values; the
+// names are part of the metric schema, not the wire format.
+var serverOpNames = [12]string{
+	"", "add", "rebid", "leave", "rate", "seal", "epoch", "load",
+	"payment", "ping", "subscribe", "notify",
+}
+
+// NewServerMetrics registers the serving-front-end bundle on r.
+func NewServerMetrics(r *Registry) *ServerMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &ServerMetrics{
+		Conns:          r.Gauge("lb_server_open_conns", "currently open client connections"),
+		ConnsTotal:     r.Counter("lb_server_conns_total", "client connections accepted"),
+		Ops:            r.CounterVec("lb_server_ops_total", "requests served by op", "op"),
+		BatchSize:      r.Histogram("lb_server_batch_ops", "bid ops per admission batch", []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}),
+		Inflight:       r.Gauge("lb_server_inflight_reqs", "decoded requests in the last wakeup"),
+		Overloads:      r.Counter("lb_server_overload_rejections_total", "requests rejected with the overload status"),
+		ProtocolErrors: r.Counter("lb_server_protocol_errors_total", "connections dropped for malformed frames"),
+	}
+	for op, name := range serverOpNames {
+		if name != "" {
+			m.ops[op] = m.Ops.With(name)
+		}
+	}
+	return m
+}
+
+// ConnOpened / ConnClosed track the connection lifecycle.
+func (m *ServerMetrics) ConnOpened() {
+	if m == nil {
+		return
+	}
+	m.Conns.Add(1)
+	m.ConnsTotal.Inc()
+}
+
+// ConnClosed records a connection teardown; protocolErr marks one
+// dropped for a malformed frame.
+func (m *ServerMetrics) ConnClosed(protocolErr bool) {
+	if m == nil {
+		return
+	}
+	m.Conns.Add(-1)
+	if protocolErr {
+		m.ProtocolErrors.Inc()
+	}
+}
+
+// Served records n served requests of the given wire op (out-of-range
+// ops are dropped). The admission path calls it once per drained batch
+// with that batch's per-op counts.
+func (m *ServerMetrics) Served(op byte, n int64) {
+	if m == nil || int(op) >= len(m.ops) {
+		return
+	}
+	m.ops[op].Add(n)
+}
+
+// Batched records one admission batch of n bid ops.
+func (m *ServerMetrics) Batched(n int) {
+	if m == nil {
+		return
+	}
+	m.BatchSize.Observe(float64(n))
+}
+
+// Wakeup records one connection wakeup that decoded n requests.
+func (m *ServerMetrics) Wakeup(n int) {
+	if m == nil {
+		return
+	}
+	m.Inflight.Set(float64(n))
+}
+
+// Overloaded records one StatusOverloaded rejection.
+func (m *ServerMetrics) Overloaded() {
+	if m == nil {
+		return
+	}
+	m.Overloads.Inc()
+}
+
 // Observer bundles a registry, a trace ring and every layer bundle,
 // so a CLI can enable full observability with one value and each
 // layer can pull its slice. A nil *Observer disables everything.
@@ -731,6 +862,7 @@ type Observer struct {
 	Dispatch    *DispatchMetrics
 	WAL         *WALMetrics
 	Swarm       *SwarmMetrics
+	Server      *ServerMetrics
 }
 
 // New returns an Observer with every bundle registered and a trace
@@ -751,6 +883,7 @@ func New(traceCap int) *Observer {
 		Dispatch:    NewDispatchMetrics(r),
 		WAL:         NewWALMetrics(r),
 		Swarm:       NewSwarmMetrics(r),
+		Server:      NewServerMetrics(r),
 	}
 }
 
@@ -830,6 +963,15 @@ func (o *Observer) SwarmMetrics() *SwarmMetrics {
 		return nil
 	}
 	return o.Swarm
+}
+
+// ServerMetrics returns the serving-front-end bundle (nil on a nil
+// observer).
+func (o *Observer) ServerMetrics() *ServerMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Server
 }
 
 // Emit forwards an event to the trace ring (no-op on a nil observer).

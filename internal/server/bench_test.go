@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lbclient"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// BenchmarkServeBatchDrain measures the server-side admission hot path
+// in isolation — decode-shaped bid ops pushed into the batcher and
+// drained through registry.ApplyBatch with responses encoded — per
+// bid op, no sockets. Must be 0 allocs/op.
+func BenchmarkServeBatchDrain(b *testing.B) {
+	reg, err := registry.New(registry.Config{Rate: 1000, Shards: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	met := obs.NewServerMetrics(obs.NewRegistry())
+	const window = 4096
+	ids := make([]int, window)
+	for i := range ids {
+		if ids[i], err = reg.Add(1 + float64(i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var bt batcher
+	wbuf := make([]byte, 0, 1<<20)
+	var q wire.Request
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		n := window
+		if left := b.N - done; left < n {
+			n = left
+		}
+		wbuf = wbuf[:0]
+		for i := 0; i < n; i++ {
+			q = wire.Request{Op: wire.OpRebid, Req: uint64(done + i + 1), ID: uint64(ids[i]), T: 1 + float64(done+i)/(1<<40)}
+			bt.push(&q)
+		}
+		wbuf = bt.drain(reg, met, wbuf)
+		done += n
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkServePipelined is the headline: sustained pipelined bid
+// ops/s over a real loopback TCP connection — client encode, kernel
+// round trip, server decode + batched admission + response encode,
+// client decode — with a 4096-request pipeline window. The ops/s
+// metric lands in BENCH_serve.json; the acceptance bar is ≥1M.
+func BenchmarkServePipelined(b *testing.B) {
+	for _, conns := range []int{1, 2} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			benchPipelined(b, conns)
+		})
+	}
+}
+
+func benchPipelined(b *testing.B, conns int) {
+	reg, err := registry.New(registry.Config{Rate: 1000, Shards: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const agents = 4096
+	ids := make([]int, agents)
+	for i := range ids {
+		if ids[i], err = reg.Add(1 + float64(i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := New(Config{Registry: reg})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Kill()
+
+	const window = 4096
+	type result struct {
+		n   int
+		err error
+	}
+	results := make(chan result, conns)
+	per := b.N / conns
+	b.ResetTimer()
+	for w := 0; w < conns; w++ {
+		n := per
+		if w == 0 {
+			n = b.N - per*(conns-1)
+		}
+		go func(n int) {
+			c, err := lbclient.Dial(addr, 1<<20)
+			if err != nil {
+				results <- result{0, err}
+				return
+			}
+			defer c.Close()
+			sent, recvd := 0, 0
+			for recvd < n {
+				for sent < n && sent-recvd < window {
+					c.QueueRebid(ids[sent%agents], 1+float64(sent%13))
+					sent++
+				}
+				if err := c.Flush(); err != nil {
+					results <- result{recvd, err}
+					return
+				}
+				for recvd < sent {
+					p, err := c.Recv()
+					if err != nil {
+						results <- result{recvd, err}
+						return
+					}
+					if p.Status != wire.StatusOK {
+						results <- result{recvd, &wire.StatusError{Op: p.Op, Status: p.Status}}
+						return
+					}
+					recvd++
+				}
+			}
+			results <- result{recvd, nil}
+		}(n)
+	}
+	total := 0
+	for w := 0; w < conns; w++ {
+		r := <-results
+		if r.err != nil {
+			b.Fatal(r.err)
+		}
+		total += r.n
+	}
+	b.StopTimer()
+	if total != b.N {
+		b.Fatalf("completed %d ops, want %d", total, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

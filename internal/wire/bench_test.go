@@ -1,0 +1,44 @@
+package wire
+
+import "testing"
+
+// BenchmarkWireEncode measures the framed-request encode hot path
+// (append into a reused buffer) — must be 0 allocs/op.
+func BenchmarkWireEncode(b *testing.B) {
+	q := Request{Op: OpRebid, Req: 1, ID: 42, T: 2.5}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		q.Req = uint64(i)
+		buf, _ = AppendRequest(buf, &q)
+	}
+	if len(buf) == 0 {
+		b.Fatal("encoded nothing")
+	}
+}
+
+// BenchmarkWireDecode measures the frame-scan + decode hot path — must
+// be 0 allocs/op.
+func BenchmarkWireDecode(b *testing.B) {
+	frame, err := AppendRequest(nil, &Request{Op: OpRebid, Req: 1, ID: 42, T: 2.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var q Request
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, _, err := Frame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := DecodeRequest(payload, &q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if q.ID != 42 {
+		b.Fatal("decode corrupted")
+	}
+}

@@ -1,0 +1,299 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// sampleRequests covers every request op with non-trivial field
+// values (including a bid whose float bits exercise all bytes).
+func sampleRequests() []Request {
+	return []Request{
+		{Op: OpAdd, Req: 1, T: 0.1234567891011},
+		{Op: OpRebid, Req: 2, ID: 77, T: math.Pi},
+		{Op: OpLeave, Req: 3, ID: 1 << 40},
+		{Op: OpRate, Req: 4, T: 1e6},
+		{Op: OpSeal, Req: 5},
+		{Op: OpEpoch, Req: 6},
+		{Op: OpLoad, Req: 7, ID: 0},
+		{Op: OpPayment, Req: 8, ID: 999},
+		{Op: OpPing, Req: 1 << 63},
+		{Op: OpSubscribe, Req: 10},
+	}
+}
+
+// sampleResponses covers every response op and status shape.
+func sampleResponses() []Response {
+	return []Response{
+		{Op: OpAdd, Req: 1, Status: StatusOK, ID: 42},
+		{Op: OpAdd, Req: 2, Status: StatusBadValue},
+		{Op: OpRebid, Req: 3, Status: StatusOK},
+		{Op: OpRebid, Req: 4, Status: StatusUnknownID},
+		{Op: OpLeave, Req: 5, Status: StatusOK},
+		{Op: OpRate, Req: 6, Status: StatusOK},
+		{Op: OpSeal, Req: 7, Status: StatusOK, Epoch: 12, N: 3, Rate: 20, Sum: 1.5, Value: 266.6666},
+		{Op: OpEpoch, Req: 8, Status: StatusOK, Epoch: 1, N: 0, Rate: 0, Sum: 0, Value: 0},
+		{Op: OpSealNotify, Req: 0, Status: StatusOK, Epoch: 99, N: 7, Rate: 5, Sum: 2, Value: 12.5},
+		{Op: OpLoad, Req: 9, Status: StatusOK, Epoch: 12, Value: 0.25},
+		{Op: OpLoad, Req: 10, Status: StatusUnknownID},
+		{Op: OpPayment, Req: 11, Status: StatusOK, Value: 13.3, Value2: 44.4},
+		{Op: OpPing, Req: 12, Status: StatusOK},
+		{Op: OpSubscribe, Req: 13, Status: StatusOK},
+		{Op: OpRebid, Req: 14, Status: StatusOverloaded},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, q := range sampleRequests() {
+		buf, err := AppendRequest(nil, &q)
+		if err != nil {
+			t.Fatalf("AppendRequest(%+v): %v", q, err)
+		}
+		payload, n, err := Frame(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("Frame: n=%d err=%v (want %d, nil)", n, err, len(buf))
+		}
+		var got Request
+		if err := DecodeRequest(payload, &got); err != nil {
+			t.Fatalf("DecodeRequest(%+v): %v", q, err)
+		}
+		if got != q {
+			t.Fatalf("round trip: got %+v want %+v", got, q)
+		}
+		// Re-encoding the decoded request must reproduce the exact
+		// frame bytes (the canonical-encoding property the fuzzer
+		// also pins).
+		re, err := AppendRequest(nil, &got)
+		if err != nil || !bytes.Equal(re, buf) {
+			t.Fatalf("re-encode diverged: %x vs %x (err %v)", re, buf, err)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, p := range sampleResponses() {
+		buf, err := AppendResponse(nil, &p)
+		if err != nil {
+			t.Fatalf("AppendResponse(%+v): %v", p, err)
+		}
+		payload, n, err := Frame(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("Frame: n=%d err=%v", n, err)
+		}
+		var got Response
+		if err := DecodeResponse(payload, &got); err != nil {
+			t.Fatalf("DecodeResponse(%+v): %v", p, err)
+		}
+		want := p
+		if p.Status != StatusOK {
+			// Non-OK responses carry no body: field values are not
+			// round-tripped.
+			want = Response{Op: p.Op, Req: p.Req, Status: p.Status}
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		re, err := AppendResponse(nil, &got)
+		if err != nil || !bytes.Equal(re, buf) {
+			t.Fatalf("re-encode diverged: %x vs %x (err %v)", re, buf, err)
+		}
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	good, _ := AppendRequest(nil, &Request{Op: OpPing, Req: 1})
+
+	// Incomplete prefixes: need more bytes, no error.
+	for cut := 0; cut < len(good); cut++ {
+		payload, n, err := Frame(good[:cut])
+		if payload != nil || n != 0 || err != nil {
+			t.Fatalf("cut=%d: got (%v,%d,%v), want incomplete", cut, payload, n, err)
+		}
+	}
+
+	// Zero-length payload.
+	var zero [FrameLen]byte
+	if _, _, err := Frame(zero[:]); err != ErrFrameEmpty {
+		t.Fatalf("zero-length: err=%v", err)
+	}
+
+	// Oversized length prefix rejected before buffering.
+	big := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(big, MaxPayload+1)
+	if _, _, err := Frame(big); err != ErrFrameTooBig {
+		t.Fatalf("oversized: err=%v", err)
+	}
+
+	// Flipped payload bit fails the CRC.
+	bad := append([]byte(nil), good...)
+	bad[FrameLen] ^= 0x40
+	if _, _, err := Frame(bad); err != ErrFrameCRC {
+		t.Fatalf("corrupt: err=%v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var q Request
+	var p Response
+
+	// Response-only op in a request.
+	notify, _ := AppendResponse(nil, &Response{Op: OpSealNotify, Status: StatusOK, Epoch: 1})
+	payload, _, err := Frame(notify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequest(payload, &q); err != ErrUnknownOp {
+		t.Fatalf("OpSealNotify as request: err=%v", err)
+	}
+
+	// Wrong body size for the op.
+	add, _ := AppendRequest(nil, &Request{Op: OpAdd, Req: 1, T: 1})
+	payload, _, _ = Frame(add)
+	if err := DecodeRequest(payload[:len(payload)-1], &q); err != ErrPayloadSize {
+		t.Fatalf("truncated add: err=%v", err)
+	}
+	if err := DecodeRequest(append(append([]byte(nil), payload...), 0), &q); err != ErrPayloadSize {
+		t.Fatalf("trailing byte: err=%v", err)
+	}
+	if err := DecodeRequest(nil, &q); err != ErrPayloadSize {
+		t.Fatalf("empty: err=%v", err)
+	}
+
+	if err := DecodeResponse([]byte{OpAdd}, &p); err != ErrPayloadSize {
+		t.Fatalf("short response: err=%v", err)
+	}
+	if err := DecodeResponse([]byte{200, 0, 0, 0, 0, 0, 0, 0, 0, 0}, &p); err != ErrUnknownOp {
+		t.Fatalf("unknown response op: err=%v", err)
+	}
+	// AppendRequest refuses non-request ops.
+	if _, err := AppendRequest(nil, &Request{Op: OpSealNotify}); err != ErrUnknownOp {
+		t.Fatalf("append response-only op: err=%v", err)
+	}
+}
+
+// TestReaderStream feeds a concatenated stream through a Reader in
+// adversarially small chunks and checks every frame comes out intact
+// and in order.
+func TestReaderStream(t *testing.T) {
+	var stream []byte
+	reqs := sampleRequests()
+	for i := range reqs {
+		var err error
+		stream, err = AppendRequest(stream, &reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, chunk := range []int{1, 2, 3, 7, 16, len(stream)} {
+		rd := NewReader(0)
+		src := &chunkReader{data: stream, chunk: chunk}
+		var got []Request
+		for {
+			payload, err := rd.Next()
+			if err != nil {
+				t.Fatalf("chunk %d: Next: %v", chunk, err)
+			}
+			if payload == nil {
+				n, err := rd.Fill(src)
+				if n == 0 && err != nil {
+					break // EOF
+				}
+				continue
+			}
+			var q Request
+			if err := DecodeRequest(payload, &q); err != nil {
+				t.Fatalf("chunk %d: decode: %v", chunk, err)
+			}
+			got = append(got, q)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("chunk %d: got %d frames, want %d", chunk, len(got), len(reqs))
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				t.Fatalf("chunk %d: frame %d: got %+v want %+v", chunk, i, got[i], reqs[i])
+			}
+		}
+	}
+}
+
+type chunkReader struct {
+	data  []byte
+	chunk int
+	off   int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if c.off >= len(c.data) {
+		return 0, errEOF
+	}
+	n := c.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.data)-c.off {
+		n = len(c.data) - c.off
+	}
+	copy(p, c.data[c.off:c.off+n])
+	c.off += n
+	return n, nil
+}
+
+var errEOF = &ProtocolError{"test EOF"}
+
+// TestWireEncodeAllocFree pins the encode hot path at zero
+// allocations once the destination buffer has capacity.
+func TestWireEncodeAllocFree(t *testing.T) {
+	q := Request{Op: OpRebid, Req: 9, ID: 3, T: 1.25}
+	p := Response{Op: OpRebid, Req: 9, Status: StatusOK}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		var err error
+		if buf, err = AppendRequest(buf, &q); err != nil {
+			t.Fatal(err)
+		}
+		if buf, err = AppendResponse(buf, &p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("encode allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestWireDecodeAllocFree pins the frame-scan + decode hot path at
+// zero allocations.
+func TestWireDecodeAllocFree(t *testing.T) {
+	var stream []byte
+	var err error
+	stream, err = AppendRequest(stream, &Request{Op: OpRebid, Req: 1, ID: 4, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = AppendResponse(stream, &Response{Op: OpSeal, Req: 2, Status: StatusOK, Epoch: 3, N: 4, Rate: 5, Sum: 6, Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Request
+	var p Response
+	if n := testing.AllocsPerRun(200, func() {
+		payload, n1, err := Frame(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeRequest(payload, &q); err != nil {
+			t.Fatal(err)
+		}
+		payload, _, err = Frame(stream[n1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeResponse(payload, &p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("decode allocates %.1f/op, want 0", n)
+	}
+}
